@@ -1,0 +1,179 @@
+// Command vmctl is the VMShop client: it submits XML creation requests
+// and queries or destroys VMs.
+//
+// Usage:
+//
+//	vmctl -shop localhost:7000 create -spec request.xml
+//	vmctl -shop localhost:7000 create -example > request.xml
+//	vmctl -shop localhost:7000 query vm-shop-1
+//	vmctl -shop localhost:7000 destroy vm-shop-1
+package main
+
+import (
+	"encoding/xml"
+	"flag"
+	"fmt"
+	"io"
+	"log"
+	"os"
+	"time"
+
+	"vmplants/internal/proto"
+	"vmplants/internal/workload"
+)
+
+func main() {
+	shopAddr := flag.String("shop", "localhost:7000", "VMShop address")
+	timeout := flag.Duration("timeout", 60*time.Second, "request timeout")
+	flag.Parse()
+	args := flag.Args()
+	if len(args) == 0 {
+		usage()
+	}
+	switch args[0] {
+	case "create":
+		doCreate(*shopAddr, *timeout, args[1:])
+	case "query":
+		requireID(args)
+		doSimple(*shopAddr, *timeout, &proto.Message{Kind: proto.KindQueryRequest,
+			Query: &proto.QueryRequest{VMID: args[1]}})
+	case "destroy":
+		requireID(args)
+		doSimple(*shopAddr, *timeout, &proto.Message{Kind: proto.KindDestroyRequest,
+			Destroy: &proto.DestroyRequest{VMID: args[1]}})
+	case "suspend", "resume":
+		requireID(args)
+		doSimple(*shopAddr, *timeout, &proto.Message{Kind: proto.KindLifecycleRequest,
+			Lifecycle: &proto.LifecycleRequest{VMID: args[1], Op: args[0]}})
+	case "dot":
+		doDot(args[1:])
+	case "publish":
+		if len(args) < 3 {
+			usage()
+		}
+		doSimple(*shopAddr, *timeout, &proto.Message{Kind: proto.KindPublishRequest,
+			Publish: &proto.PublishRequest{VMID: args[1], Image: args[2]}})
+	default:
+		usage()
+	}
+}
+
+func usage() {
+	fmt.Fprintln(os.Stderr, "usage: vmctl [-shop addr] create [-spec file | -example] | query <vmid> | destroy <vmid> | suspend <vmid> | resume <vmid> | publish <vmid> <image> | dot [-spec file]")
+	os.Exit(2)
+}
+
+func requireID(args []string) {
+	if len(args) < 2 {
+		usage()
+	}
+}
+
+func doCreate(shopAddr string, timeout time.Duration, args []string) {
+	fs := flag.NewFlagSet("create", flag.ExitOnError)
+	specPath := fs.String("spec", "-", "XML creation request file ('-' = stdin)")
+	example := fs.Bool("example", false, "print an example request and exit")
+	fs.Parse(args)
+
+	if *example {
+		printExample()
+		return
+	}
+	var src io.Reader = os.Stdin
+	if *specPath != "-" {
+		f, err := os.Open(*specPath)
+		if err != nil {
+			log.Fatalf("vmctl: %v", err)
+		}
+		defer f.Close()
+		src = f
+	}
+	blob, err := io.ReadAll(src)
+	if err != nil {
+		log.Fatalf("vmctl: read spec: %v", err)
+	}
+	var req proto.CreateRequest
+	if err := xml.Unmarshal(blob, &req); err != nil {
+		log.Fatalf("vmctl: parse spec: %v", err)
+	}
+	if _, err := req.Spec(); err != nil {
+		log.Fatalf("vmctl: invalid spec: %v", err)
+	}
+	doSimple(shopAddr, timeout, &proto.Message{Kind: proto.KindCreateRequest, Create: &req})
+}
+
+func doSimple(shopAddr string, timeout time.Duration, m *proto.Message) {
+	c, err := proto.Dial(shopAddr, timeout)
+	if err != nil {
+		log.Fatalf("vmctl: %v", err)
+	}
+	defer c.Close()
+	resp, err := c.Call(m)
+	if err != nil {
+		log.Fatalf("vmctl: %v", err)
+	}
+	switch resp.Kind {
+	case proto.KindLifecycleResponse:
+		fmt.Printf("%s is now %s\n", resp.Lifecycled.VMID, resp.Lifecycled.State)
+	case proto.KindPublishResponse:
+		fmt.Printf("published %s as image %q\n", resp.Published.VMID, resp.Published.Image)
+	case proto.KindCreateResponse:
+		fmt.Printf("created %s\n%s\n", resp.Created.VMID, resp.Created.Ad)
+	case proto.KindQueryResponse:
+		fmt.Printf("%s\n", resp.Queried.Ad)
+	case proto.KindDestroyResponse:
+		fmt.Printf("destroyed %s\n", resp.Destroyed.VMID)
+	default:
+		log.Fatalf("vmctl: unexpected response %q", resp.Kind)
+	}
+}
+
+// doDot renders a request's configuration DAG in Graphviz dot syntax.
+func doDot(args []string) {
+	fs := flag.NewFlagSet("dot", flag.ExitOnError)
+	specPath := fs.String("spec", "-", "XML creation request file ('-' = stdin)")
+	fs.Parse(args)
+	var src io.Reader = os.Stdin
+	if *specPath != "-" {
+		f, err := os.Open(*specPath)
+		if err != nil {
+			log.Fatalf("vmctl: %v", err)
+		}
+		defer f.Close()
+		src = f
+	}
+	blob, err := io.ReadAll(src)
+	if err != nil {
+		log.Fatalf("vmctl: %v", err)
+	}
+	var req proto.CreateRequest
+	if err := xml.Unmarshal(blob, &req); err != nil {
+		log.Fatalf("vmctl: parse spec: %v", err)
+	}
+	if req.Graph == nil {
+		log.Fatal("vmctl: spec has no DAG")
+	}
+	fmt.Print(req.Graph.DOT())
+}
+
+// printExample emits a complete In-VIGO-style workspace request.
+func printExample() {
+	g, err := workload.InVigoDAG("alice", "00:50:56:00:00:2a", "10.1.0.42")
+	if err != nil {
+		log.Fatalf("vmctl: %v", err)
+	}
+	req := proto.CreateRequest{
+		Name:     "workspace-alice",
+		Arch:     "x86",
+		MemoryMB: 64,
+		DiskMB:   2048,
+		Domain:   "ufl.edu",
+		Graph:    g,
+	}
+	enc := xml.NewEncoder(os.Stdout)
+	enc.Indent("", "  ")
+	if err := enc.Encode(req); err != nil {
+		log.Fatalf("vmctl: %v", err)
+	}
+	fmt.Println()
+}

@@ -1,0 +1,124 @@
+// Command vmplantd runs one VMPlant daemon: it serves the plant-side
+// protocol (estimate, create, query, collect) on a TCP port, optionally
+// exposes a VNET server for client-domain overlay bridging, and hosts
+// the simulated node substrate beneath. Golden In-VIGO workspace images
+// of the requested memory sizes are published at startup.
+//
+// Usage:
+//
+//	vmplantd -listen :7001 -name plantA -golden 32,64,256
+//	vmplantd -listen :7001 -vnet :7101 -creds ufl.edu=secret
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"net"
+	"strconv"
+	"strings"
+
+	"vmplants/internal/cluster"
+	"vmplants/internal/core"
+	"vmplants/internal/cost"
+	"vmplants/internal/plant"
+	"vmplants/internal/proto"
+	"vmplants/internal/service"
+	"vmplants/internal/sim"
+	"vmplants/internal/simnet"
+	"vmplants/internal/vnet"
+	"vmplants/internal/warehouse"
+	"vmplants/internal/workload"
+)
+
+func main() {
+	var (
+		listen   = flag.String("listen", ":7001", "plant service listen address")
+		name     = flag.String("name", "plant0", "plant name")
+		seed     = flag.Int64("seed", 1, "substrate random seed")
+		maxVMs   = flag.Int("maxvms", 32, "maximum hosted VMs (0 = unlimited)")
+		networks = flag.Int("networks", 4, "host-only network pool size")
+		costName = flag.String("cost", "free-memory", "cost model: free-memory or network+compute")
+		golden   = flag.String("golden", "32,64,256", "comma-separated golden image memory sizes (MB)")
+		diskMB   = flag.Int("disk", 2048, "golden image disk size (MB)")
+		vnetAddr = flag.String("vnet", "", "VNET server listen address (empty = disabled)")
+		creds    = flag.String("creds", "", "VNET credentials, comma-separated domain=token pairs")
+	)
+	flag.Parse()
+
+	model, err := cost.ByName(*costName)
+	if err != nil {
+		log.Fatalf("vmplantd: %v", err)
+	}
+	k := sim.NewKernel()
+	tb := cluster.NewTestbed(k, 1, cluster.DefaultParams(), *seed)
+	wh := warehouse.New(tb.Warehouse)
+	for _, field := range strings.Split(*golden, ",") {
+		field = strings.TrimSpace(field)
+		if field == "" {
+			continue
+		}
+		mem, err := strconv.Atoi(field)
+		if err != nil {
+			log.Fatalf("vmplantd: bad golden size %q", field)
+		}
+		hw := core.HardwareSpec{Arch: "x86", MemoryMB: mem, DiskMB: *diskMB}
+		im, err := warehouse.BuildGolden(workload.GoldenName(mem, warehouse.BackendVMware),
+			hw, warehouse.BackendVMware, workload.InVigoGoldenHistory())
+		if err != nil {
+			log.Fatalf("vmplantd: golden %d MB: %v", mem, err)
+		}
+		if err := wh.Publish(im); err != nil {
+			log.Fatalf("vmplantd: publish: %v", err)
+		}
+		log.Printf("published golden image %s", im.Name)
+	}
+
+	pl := plant.New(*name, tb.Nodes[0], wh, plant.Config{
+		MaxVMs:           *maxVMs,
+		HostOnlyNetworks: *networks,
+		CostModel:        model,
+	})
+	runner := service.NewRunner(k)
+
+	if *vnetAddr != "" {
+		credTable := vnet.Credentials{}
+		for _, pair := range strings.Split(*creds, ",") {
+			if pair == "" {
+				continue
+			}
+			domain, token, ok := strings.Cut(pair, "=")
+			if !ok {
+				log.Fatalf("vmplantd: bad credential %q (want domain=token)", pair)
+			}
+			credTable[domain] = token
+		}
+		srv := vnet.NewServer(credTable, func(domain string) (*simnet.Switch, bool) {
+			// Resolve the domain's host-only network on this plant.
+			pool := pl.Networks()
+			if !pool.HasDomain(domain) {
+				return nil, false
+			}
+			net, _, err := pool.Acquire(domain) // returns the held network
+			if err != nil {
+				return nil, false
+			}
+			pool.Release(domain) // Acquire bumped the VM count; undo
+			return net.Switch, true
+		})
+		vl, err := net.Listen("tcp", *vnetAddr)
+		if err != nil {
+			log.Fatalf("vmplantd: vnet listen: %v", err)
+		}
+		log.Printf("VNET server on %s (%d domains)", vl.Addr(), len(credTable))
+		go srv.Serve(vl)
+	}
+
+	l, err := net.Listen("tcp", *listen)
+	if err != nil {
+		log.Fatalf("vmplantd: listen: %v", err)
+	}
+	fmt.Printf("vmplantd %s serving on %s (cost model %s, %d networks, max %d VMs)\n",
+		*name, l.Addr(), model.Name(), *networks, *maxVMs)
+	proto.Serve(l, service.NewPlantHandler(runner, pl))
+}

@@ -1,0 +1,60 @@
+// Command vmshopd runs the VMShop daemon: the client-facing front end
+// that collects bids from the configured VMPlant daemons and routes
+// create/query/destroy requests.
+//
+// Usage:
+//
+//	vmshopd -listen :7000 -plants plantA=host1:7001,plantB=host2:7001
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"net"
+	"strings"
+	"time"
+
+	"vmplants/internal/proto"
+	"vmplants/internal/service"
+	"vmplants/internal/shop"
+	"vmplants/internal/sim"
+)
+
+func main() {
+	var (
+		listen  = flag.String("listen", ":7000", "shop service listen address")
+		plants  = flag.String("plants", "", "comma-separated name=addr plant endpoints")
+		seed    = flag.Int64("seed", 1, "tie-break random seed")
+		timeout = flag.Duration("timeout", 30*time.Second, "per-plant call timeout")
+		cache   = flag.Bool("cache", true, "cache classads to serve queries when plants are down")
+	)
+	flag.Parse()
+
+	var handles []shop.PlantHandle
+	for _, pair := range strings.Split(*plants, ",") {
+		pair = strings.TrimSpace(pair)
+		if pair == "" {
+			continue
+		}
+		name, addr, ok := strings.Cut(pair, "=")
+		if !ok {
+			log.Fatalf("vmshopd: bad plant %q (want name=addr)", pair)
+		}
+		handles = append(handles, &service.RemotePlant{PlantName: name, Addr: addr, Timeout: *timeout})
+	}
+	if len(handles) == 0 {
+		log.Fatal("vmshopd: no plants configured (-plants name=addr,...)")
+	}
+
+	s := shop.New("shop", handles, *seed)
+	s.CacheAds = *cache
+	runner := service.NewRunner(sim.NewKernel())
+
+	l, err := net.Listen("tcp", *listen)
+	if err != nil {
+		log.Fatalf("vmshopd: listen: %v", err)
+	}
+	fmt.Printf("vmshopd serving on %s with %d plants\n", l.Addr(), len(handles))
+	proto.Serve(l, service.NewShopHandler(runner, s))
+}

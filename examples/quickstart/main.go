@@ -1,0 +1,73 @@
+// Quickstart: stand up an in-process VMPlants deployment, publish a
+// golden image, create a VM from a configuration DAG, inspect its
+// classad, and tear it down.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"vmplants"
+)
+
+func main() {
+	// A site with two plants (two simulated cluster nodes).
+	sys, err := vmplants.New(vmplants.Config{Plants: 2, Seed: 1})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Publish a golden machine: Red Hat plus a VNC server, checkpointed.
+	hw := vmplants.Hardware{Arch: "x86", MemoryMB: 64, DiskMB: 2048}
+	history := []vmplants.Action{
+		{Op: "install-os", Target: vmplants.Guest, Params: map[string]string{"distro": "redhat-8.0"}},
+		{Op: "install-package", Target: vmplants.Guest, Params: map[string]string{"name": "vnc-server"}},
+	}
+	if err := sys.PublishGolden("redhat-vnc", hw, vmplants.BackendVMware, history); err != nil {
+		log.Fatal(err)
+	}
+
+	// The creation request: the golden prefix plus personalization. The
+	// Production Process Planner will match A,B against the golden image
+	// and execute only the remaining two actions after cloning.
+	graph, err := vmplants.NewGraph().
+		Add("A", vmplants.Action{Op: "install-os", Target: vmplants.Guest,
+			Params: map[string]string{"distro": "redhat-8.0"}}).
+		Add("B", vmplants.Action{Op: "install-package", Target: vmplants.Guest,
+			Params: map[string]string{"name": "vnc-server"}}, "A").
+		Add("C", vmplants.Action{Op: "configure-network", Target: vmplants.Guest,
+			Params: map[string]string{"ip": "10.1.0.7"}}, "B").
+		Add("D", vmplants.Action{Op: "create-user", Target: vmplants.Guest,
+			Params: map[string]string{"name": "alice"}}, "C").
+		Build()
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	id, ad, err := sys.CreateVM(&vmplants.Spec{
+		Name:     "alice-workspace",
+		Hardware: hw,
+		Domain:   "example.edu",
+		Graph:    graph,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("created %s in %v of virtual time\n", id, sys.Now())
+	fmt.Printf("  plant:   %s\n", ad.GetString("Plant", "?"))
+	fmt.Printf("  golden:  %s (%d ops matched)\n", ad.GetString("GoldenImage", "?"), ad.GetInt("MatchedOps", 0))
+	fmt.Printf("  IP:      %s\n", ad.GetString("IP", "?"))
+	fmt.Printf("  cloning: %.1f s\n", ad.GetReal("CloneSecs", 0))
+
+	// The guest answers Ethernet-level probes on its host-only network.
+	alive, err := sys.GuestProbe(id)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("  guest answers probe: %v\n", alive)
+
+	if err := sys.DestroyVM(id); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("destroyed", id)
+}

@@ -1,0 +1,3 @@
+module vmplants
+
+go 1.22

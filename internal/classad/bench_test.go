@@ -1,0 +1,32 @@
+package classad
+
+import "testing"
+
+func BenchmarkParseExpr(b *testing.B) {
+	src := `TARGET.FreeMemory >= MY.Memory && member("vnc", TARGET.Packages) && (MY.Rank * 2 + 1) > 3`
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := ParseExpr(src); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkMatch(b *testing.B) {
+	job := MustParse(`[ Memory = 64; OS = "linux"; Requirements = TARGET.FreeMemory >= MY.Memory && TARGET.OS == MY.OS ]`)
+	machine := MustParse(`[ FreeMemory = 256; OS = "linux"; MaxJobs = 4; RunningJobs = 1; Requirements = MY.RunningJobs < MY.MaxJobs ]`)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if !Match(job, machine) {
+			b.Fatal("no match")
+		}
+	}
+}
+
+func BenchmarkAdString(b *testing.B) {
+	ad := MustParse(`[ VMID = "vm-1"; Memory = 64; Tags = {"a","b","c"}; Req = TARGET.X > 1 ]`)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		_ = ad.String()
+	}
+}

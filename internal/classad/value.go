@@ -1,0 +1,190 @@
+// Package classad implements the classified-advertisement (classad)
+// data model of Raman, Livny and Solomon's Matchmaking framework (HPDC
+// 1998), which the VMPlants paper uses to describe virtual machines:
+// creation returns "a classad with (attribute,value) pairs" and the VM
+// Information System stores classads for active machines.
+//
+// A classad is an ordered set of attribute definitions whose values are
+// expressions over a small language with three-valued logic: evaluation
+// may yield UNDEFINED (an attribute reference that resolves nowhere) or
+// ERROR (a type mismatch) in addition to ordinary values. Two ads match
+// when each ad's Requirements expression evaluates to true in the
+// context of the other.
+package classad
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// Kind enumerates the runtime types of classad values.
+type Kind int
+
+// Value kinds.
+const (
+	KindUndefined Kind = iota
+	KindError
+	KindBool
+	KindInt
+	KindReal
+	KindString
+	KindList
+)
+
+func (k Kind) String() string {
+	switch k {
+	case KindUndefined:
+		return "undefined"
+	case KindError:
+		return "error"
+	case KindBool:
+		return "bool"
+	case KindInt:
+		return "int"
+	case KindReal:
+		return "real"
+	case KindString:
+		return "string"
+	case KindList:
+		return "list"
+	}
+	return fmt.Sprintf("Kind(%d)", int(k))
+}
+
+// Value is the result of evaluating a classad expression.
+type Value struct {
+	kind Kind
+	b    bool
+	i    int64
+	r    float64
+	s    string
+	l    []Value
+	msg  string // for KindError: what went wrong
+}
+
+// Constructors.
+
+// Undefined returns the UNDEFINED value.
+func Undefined() Value { return Value{kind: KindUndefined} }
+
+// Errorf returns an ERROR value carrying a diagnostic message.
+func Errorf(format string, args ...any) Value {
+	return Value{kind: KindError, msg: fmt.Sprintf(format, args...)}
+}
+
+// Bool returns a boolean value.
+func Bool(b bool) Value { return Value{kind: KindBool, b: b} }
+
+// Int returns an integer value.
+func Int(i int64) Value { return Value{kind: KindInt, i: i} }
+
+// Real returns a floating-point value.
+func Real(r float64) Value { return Value{kind: KindReal, r: r} }
+
+// Str returns a string value.
+func Str(s string) Value { return Value{kind: KindString, s: s} }
+
+// List returns a list value.
+func List(vs ...Value) Value { return Value{kind: KindList, l: vs} }
+
+// Kind reports the value's runtime type.
+func (v Value) Kind() Kind { return v.kind }
+
+// IsUndefined reports whether v is UNDEFINED.
+func (v Value) IsUndefined() bool { return v.kind == KindUndefined }
+
+// IsError reports whether v is ERROR.
+func (v Value) IsError() bool { return v.kind == KindError }
+
+// ErrMsg returns the diagnostic carried by an ERROR value.
+func (v Value) ErrMsg() string { return v.msg }
+
+// BoolVal returns the boolean and ok=true if v is a bool.
+func (v Value) BoolVal() (bool, bool) { return v.b, v.kind == KindBool }
+
+// IntVal returns the integer and ok=true if v is an int.
+func (v Value) IntVal() (int64, bool) { return v.i, v.kind == KindInt }
+
+// RealVal returns the float and ok=true if v is a real.
+func (v Value) RealVal() (float64, bool) { return v.r, v.kind == KindReal }
+
+// StringVal returns the string and ok=true if v is a string.
+func (v Value) StringVal() (string, bool) { return v.s, v.kind == KindString }
+
+// ListVal returns the elements and ok=true if v is a list.
+func (v Value) ListVal() ([]Value, bool) { return v.l, v.kind == KindList }
+
+// Number returns v as a float64 when v is numeric (int or real).
+func (v Value) Number() (float64, bool) {
+	switch v.kind {
+	case KindInt:
+		return float64(v.i), true
+	case KindReal:
+		return v.r, true
+	}
+	return 0, false
+}
+
+// IsTrue reports whether v is the boolean true.
+func (v Value) IsTrue() bool { return v.kind == KindBool && v.b }
+
+// Equal reports strict structural equality (same kind, same contents).
+// Unlike the == operator in the expression language it never coerces,
+// and UNDEFINED equals UNDEFINED.
+func (v Value) Equal(w Value) bool {
+	if v.kind != w.kind {
+		return false
+	}
+	switch v.kind {
+	case KindUndefined, KindError:
+		return true
+	case KindBool:
+		return v.b == w.b
+	case KindInt:
+		return v.i == w.i
+	case KindReal:
+		return v.r == w.r
+	case KindString:
+		return v.s == w.s
+	case KindList:
+		if len(v.l) != len(w.l) {
+			return false
+		}
+		for i := range v.l {
+			if !v.l[i].Equal(w.l[i]) {
+				return false
+			}
+		}
+		return true
+	}
+	return false
+}
+
+// String renders the value in classad literal syntax.
+func (v Value) String() string {
+	switch v.kind {
+	case KindUndefined:
+		return "undefined"
+	case KindError:
+		return "error"
+	case KindBool:
+		if v.b {
+			return "true"
+		}
+		return "false"
+	case KindInt:
+		return strconv.FormatInt(v.i, 10)
+	case KindReal:
+		return strconv.FormatFloat(v.r, 'g', -1, 64)
+	case KindString:
+		return strconv.Quote(v.s)
+	case KindList:
+		parts := make([]string, len(v.l))
+		for i, e := range v.l {
+			parts[i] = e.String()
+		}
+		return "{" + strings.Join(parts, ", ") + "}"
+	}
+	return "error"
+}

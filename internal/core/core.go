@@ -1,0 +1,167 @@
+// Package core holds the domain model shared by every VMPlants
+// subsystem: virtual-machine identifiers and lifecycle states, hardware
+// and creation specifications, and the well-known classad attribute
+// names that creation results and the VM Information System use.
+package core
+
+import (
+	"errors"
+	"fmt"
+	"strings"
+
+	"vmplants/internal/dag"
+)
+
+// VMID uniquely identifies a virtual machine instance across the whole
+// deployment; it is assigned by VMShop at creation (paper §3.1).
+type VMID string
+
+// ParseVMID validates the "vm-<shop>-<n>" shape VMShop mints.
+func ParseVMID(s string) (VMID, error) {
+	if !strings.HasPrefix(s, "vm-") || len(s) < 5 {
+		return "", fmt.Errorf("core: malformed VMID %q", s)
+	}
+	return VMID(s), nil
+}
+
+// VMState is the lifecycle state of a VM instance.
+type VMState int
+
+// VM lifecycle states.
+const (
+	StatePlanned     VMState = iota // accepted, production not started
+	StateCloning                    // state files being cloned
+	StateConfiguring                // DAG actions executing
+	StateRunning                    // configured and serving
+	StateFailed                     // creation failed
+	StateCollected                  // destroyed and reclaimed
+)
+
+var stateNames = [...]string{"planned", "cloning", "configuring", "running", "failed", "collected"}
+
+func (s VMState) String() string {
+	if int(s) < len(stateNames) {
+		return stateNames[s]
+	}
+	return fmt.Sprintf("VMState(%d)", int(s))
+}
+
+// ParseVMState inverts String.
+func ParseVMState(s string) (VMState, error) {
+	for i, n := range stateNames {
+		if n == s {
+			return VMState(i), nil
+		}
+	}
+	return 0, fmt.Errorf("core: unknown VM state %q", s)
+}
+
+// HardwareSpec is the hardware part of a creation request: the paper's
+// "specifications of hardware … such as the VM's instruction set, memory
+// and disk space".
+type HardwareSpec struct {
+	Arch     string // instruction set, e.g. "x86"
+	MemoryMB int    // guest memory size
+	DiskMB   int    // virtual disk size
+}
+
+// Validate rejects nonsensical hardware.
+func (h HardwareSpec) Validate() error {
+	if h.MemoryMB <= 0 {
+		return errors.New("core: hardware spec needs positive memory")
+	}
+	if h.DiskMB <= 0 {
+		return errors.New("core: hardware spec needs positive disk")
+	}
+	if h.Arch == "" {
+		return errors.New("core: hardware spec needs an instruction-set architecture")
+	}
+	return nil
+}
+
+// Satisfies reports whether a machine with hardware h can host a request
+// for want: identical architecture, identical memory (the checkpointed
+// memory image fixes the guest's RAM), and at least the requested disk.
+func (h HardwareSpec) Satisfies(want HardwareSpec) bool {
+	return h.Arch == want.Arch && h.MemoryMB == want.MemoryMB && h.DiskMB >= want.DiskMB
+}
+
+// Spec is a complete VM creation request.
+type Spec struct {
+	// Name is a client-chosen label, echoed in the result classad.
+	Name string
+	// Hardware constrains plant selection and warehouse matching.
+	Hardware HardwareSpec
+	// Domain identifies the client's network domain; VMs of the same
+	// domain on one plant share a host-only network (paper §3.3–3.4).
+	Domain string
+	// ProxyAddr is the client domain's VNET proxy endpoint ("host:port"),
+	// empty when the client does not request overlay networking.
+	ProxyAddr string
+	// Backend selects the production line ("vmware" or "uml"); empty
+	// means the plant's default.
+	Backend string
+	// Requirements is an optional classad expression evaluated against
+	// each candidate plant's resource classad during bidding (classad
+	// matchmaking, Raman et al.); plants whose ads do not satisfy it are
+	// excluded regardless of their bids. Example:
+	//
+	//	TARGET.FreeMemoryMB >= 512 && TARGET.Site == "ufl"
+	Requirements string
+	// Graph is the configuration DAG.
+	Graph *dag.Graph
+}
+
+// Validate checks the spec is complete and its DAG well-formed.
+func (s *Spec) Validate() error {
+	if s == nil {
+		return errors.New("core: nil spec")
+	}
+	if s.Name == "" {
+		return errors.New("core: spec needs a name")
+	}
+	if err := s.Hardware.Validate(); err != nil {
+		return err
+	}
+	if s.Domain == "" {
+		return errors.New("core: spec needs a client domain")
+	}
+	if s.Graph == nil {
+		return errors.New("core: spec needs a configuration DAG")
+	}
+	return s.Graph.Validate()
+}
+
+// Well-known classad attribute names used in results and the VM
+// Information System.
+const (
+	AttrVMID        = "VMID"
+	AttrName        = "Name"
+	AttrState       = "State"
+	AttrMemoryMB    = "MemoryMB"
+	AttrDiskMB      = "DiskMB"
+	AttrArch        = "Arch"
+	AttrDomain      = "Domain"
+	AttrPlant       = "Plant"
+	AttrBackend     = "Backend"
+	AttrIP          = "IP"
+	AttrMAC         = "MAC"
+	AttrNetwork     = "HostOnlyNetwork"
+	AttrCreatedAt   = "CreatedAt"   // virtual seconds since epoch
+	AttrCloneSecs   = "CloneSecs"   // PPP clone latency
+	AttrCreateSecs  = "CreateSecs"  // end-to-end creation latency
+	AttrGoldenImage = "GoldenImage" // warehouse image matched
+	AttrMatchedOps  = "MatchedOps"  // actions satisfied by the golden image
+	AttrCPULoad     = "CPULoad"     // updated by the VM monitor
+	AttrUptimeSecs  = "UptimeSecs"  // updated by the VM monitor
+)
+
+// Cost is the unit-free bid value plants return from Estimate (paper
+// §3.1: "costs are generically represented as numbers").
+type Cost float64
+
+// Infeasible marks a bid for a request the plant cannot satisfy at all.
+const Infeasible Cost = -1
+
+// OK reports whether the cost represents a feasible bid.
+func (c Cost) OK() bool { return c >= 0 }

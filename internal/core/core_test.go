@@ -1,0 +1,111 @@
+package core
+
+import (
+	"testing"
+
+	"vmplants/internal/dag"
+)
+
+func TestParseVMID(t *testing.T) {
+	good := []string{"vm-shop-1", "vm-x-42"}
+	for _, s := range good {
+		if _, err := ParseVMID(s); err != nil {
+			t.Errorf("ParseVMID(%q): %v", s, err)
+		}
+	}
+	bad := []string{"", "vm-", "shop-1", "VM-shop-1"}
+	for _, s := range bad {
+		if _, err := ParseVMID(s); err == nil {
+			t.Errorf("ParseVMID(%q) succeeded", s)
+		}
+	}
+}
+
+func TestVMStateStringRoundTrip(t *testing.T) {
+	for s := StatePlanned; s <= StateCollected; s++ {
+		back, err := ParseVMState(s.String())
+		if err != nil || back != s {
+			t.Errorf("round trip %v: %v, %v", s, back, err)
+		}
+	}
+	if _, err := ParseVMState("nirvana"); err == nil {
+		t.Error("unknown state parsed")
+	}
+	if VMState(99).String() == "" {
+		t.Error("out-of-range state has empty String")
+	}
+}
+
+func TestHardwareValidate(t *testing.T) {
+	good := HardwareSpec{Arch: "x86", MemoryMB: 64, DiskMB: 2048}
+	if err := good.Validate(); err != nil {
+		t.Error(err)
+	}
+	for _, bad := range []HardwareSpec{
+		{Arch: "", MemoryMB: 64, DiskMB: 2048},
+		{Arch: "x86", MemoryMB: 0, DiskMB: 2048},
+		{Arch: "x86", MemoryMB: 64, DiskMB: -1},
+	} {
+		if err := bad.Validate(); err == nil {
+			t.Errorf("%+v accepted", bad)
+		}
+	}
+}
+
+func TestHardwareSatisfies(t *testing.T) {
+	host := HardwareSpec{Arch: "x86", MemoryMB: 64, DiskMB: 4096}
+	cases := []struct {
+		want HardwareSpec
+		ok   bool
+	}{
+		{HardwareSpec{Arch: "x86", MemoryMB: 64, DiskMB: 4096}, true},
+		{HardwareSpec{Arch: "x86", MemoryMB: 64, DiskMB: 2048}, true},  // bigger disk fine
+		{HardwareSpec{Arch: "x86", MemoryMB: 64, DiskMB: 8192}, false}, // too little disk
+		{HardwareSpec{Arch: "x86", MemoryMB: 32, DiskMB: 4096}, false}, // memory must be exact
+		{HardwareSpec{Arch: "sparc", MemoryMB: 64, DiskMB: 4096}, false},
+	}
+	for _, c := range cases {
+		if got := host.Satisfies(c.want); got != c.ok {
+			t.Errorf("Satisfies(%+v) = %v, want %v", c.want, got, c.ok)
+		}
+	}
+}
+
+func TestSpecValidate(t *testing.T) {
+	g := dag.NewBuilder().Add("a", dag.Action{Op: "x"}).MustBuild()
+	good := &Spec{
+		Name:     "ws",
+		Hardware: HardwareSpec{Arch: "x86", MemoryMB: 64, DiskMB: 2048},
+		Domain:   "d",
+		Graph:    g,
+	}
+	if err := good.Validate(); err != nil {
+		t.Error(err)
+	}
+	var nilSpec *Spec
+	if err := nilSpec.Validate(); err == nil {
+		t.Error("nil spec accepted")
+	}
+	cases := []func(*Spec){
+		func(s *Spec) { s.Name = "" },
+		func(s *Spec) { s.Domain = "" },
+		func(s *Spec) { s.Graph = nil },
+		func(s *Spec) { s.Hardware.MemoryMB = 0 },
+	}
+	for i, mutate := range cases {
+		s := *good
+		mutate(&s)
+		if err := s.Validate(); err == nil {
+			t.Errorf("case %d accepted", i)
+		}
+	}
+}
+
+func TestCostOK(t *testing.T) {
+	if Infeasible.OK() {
+		t.Error("Infeasible is OK")
+	}
+	if !Cost(0).OK() || !Cost(50).OK() {
+		t.Error("valid costs not OK")
+	}
+}

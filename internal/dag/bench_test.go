@@ -1,0 +1,53 @@
+package dag
+
+import (
+	"bytes"
+	"fmt"
+	"testing"
+)
+
+// benchGraph builds a 64-node layered DAG.
+func benchGraph(b *testing.B) *Graph {
+	bld := NewBuilder()
+	var prev []string
+	for layer := 0; layer < 16; layer++ {
+		var cur []string
+		for j := 0; j < 4; j++ {
+			id := fmt.Sprintf("n%02d_%d", layer, j)
+			bld.Add(id, Action{Op: "op", Params: map[string]string{"k": id}}, prev...)
+			cur = append(cur, id)
+		}
+		prev = cur
+	}
+	g, err := bld.Build()
+	if err != nil {
+		b.Fatal(err)
+	}
+	return g
+}
+
+func BenchmarkTopoSort64Nodes(b *testing.B) {
+	g := benchGraph(b)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := g.TopoSort(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkXMLRoundTrip64Nodes(b *testing.B) {
+	g := benchGraph(b)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		var buf bytes.Buffer
+		if err := g.Encode(&buf); err != nil {
+			b.Fatal(err)
+		}
+		if _, err := Decode(&buf); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,123 @@
+// Package guestbench reproduces the run-time overhead numbers the paper
+// cites in §4.3: SPEC INT2000 under VMware/UML/Xen (≈2 %, 3 %, ≈0 %,
+// from Barham et al.), SPECseis/SPECchem under VMware (≈6 %, from
+// Figueiredo et al.), and the I/O-heavy Light Scattering Spectroscopy
+// application (≈13 %, from Paladugula et al.). The paper does not
+// measure these itself — they are published constants — so this package
+// models them: each platform has CPU and I/O virtualization overhead
+// factors, each workload a compute/I/O mix, and running a workload on a
+// platform dilates its execution time accordingly.
+package guestbench
+
+import (
+	"fmt"
+	"sort"
+	"time"
+
+	"vmplants/internal/sim"
+)
+
+// Platform is a virtualization platform's overhead profile.
+type Platform struct {
+	Name string
+	// CPUOverhead is the fractional slowdown of pure computation.
+	CPUOverhead float64
+	// IOOverhead is the fractional slowdown of I/O and system activity
+	// ("application domains involving more of I/O and system activity …
+	// may incur a higher performance overhead").
+	IOOverhead float64
+}
+
+// The platforms of §4.3. Calibration: SPEC INT (pure compute) sees the
+// CPUOverhead directly; LSS (I/O fraction 0.75) under VMware must come
+// out at ≈13 %, fixing VMware's IOOverhead at ≈0.166; SPECseis (I/O
+// fraction 0.30) then lands at ≈6 % as published.
+var (
+	Physical = Platform{Name: "physical", CPUOverhead: 0, IOOverhead: 0}
+	VMware   = Platform{Name: "vmware", CPUOverhead: 0.02, IOOverhead: 0.166}
+	UML      = Platform{Name: "uml", CPUOverhead: 0.03, IOOverhead: 0.30}
+	Xen      = Platform{Name: "xen", CPUOverhead: 0.004, IOOverhead: 0.03}
+)
+
+// Platforms lists all modeled platforms in presentation order.
+func Platforms() []Platform { return []Platform{Physical, Xen, VMware, UML} }
+
+// Workload is a synthetic application profile.
+type Workload struct {
+	Name string
+	// BaseSeconds is execution time on physical hardware.
+	BaseSeconds float64
+	// IOFraction is the share of execution dominated by I/O and system
+	// activity (0 = pure compute).
+	IOFraction float64
+}
+
+// The workloads of §4.3.
+var (
+	SPECINT  = Workload{Name: "spec-int2000", BaseSeconds: 1000, IOFraction: 0}
+	SPECseis = Workload{Name: "spec-seis", BaseSeconds: 1500, IOFraction: 0.30}
+	LSS      = Workload{Name: "lss-parallel", BaseSeconds: 800, IOFraction: 0.75}
+)
+
+// Workloads lists all modeled workloads in presentation order.
+func Workloads() []Workload { return []Workload{SPECINT, SPECseis, LSS} }
+
+// Slowdown returns the multiplicative execution-time dilation of w on p
+// (1.0 = no overhead).
+func Slowdown(p Platform, w Workload) float64 {
+	return 1 + p.CPUOverhead*(1-w.IOFraction) + p.IOOverhead*w.IOFraction
+}
+
+// OverheadPercent returns the overhead of w on p relative to physical
+// hardware, in percent.
+func OverheadPercent(p Platform, w Workload) float64 {
+	return (Slowdown(p, w) - 1) * 100
+}
+
+// Run executes the workload on the platform inside the simulation,
+// consuming dilated virtual time, and returns the execution time.
+func Run(proc *sim.Proc, p Platform, w Workload, rng *sim.RNG) time.Duration {
+	secs := w.BaseSeconds * Slowdown(p, w)
+	if rng != nil {
+		secs = rng.LogNormalMean(secs, 0.01)
+	}
+	start := proc.Now()
+	proc.Sleep(sim.Seconds(secs))
+	return proc.Now() - start
+}
+
+// Row is one line of the overhead table.
+type Row struct {
+	Workload string
+	Platform string
+	Percent  float64
+}
+
+// Table computes the full §4.3 overhead table (virtual platforms only).
+func Table() []Row {
+	var rows []Row
+	for _, w := range Workloads() {
+		for _, p := range Platforms() {
+			if p.Name == Physical.Name {
+				continue
+			}
+			rows = append(rows, Row{Workload: w.Name, Platform: p.Name, Percent: OverheadPercent(p, w)})
+		}
+	}
+	sort.SliceStable(rows, func(i, j int) bool {
+		if rows[i].Workload != rows[j].Workload {
+			return rows[i].Workload < rows[j].Workload
+		}
+		return rows[i].Platform < rows[j].Platform
+	})
+	return rows
+}
+
+// FormatTable renders the table for the experiment harness.
+func FormatTable(rows []Row) string {
+	out := fmt.Sprintf("%-14s %-10s %s\n", "workload", "platform", "overhead")
+	for _, r := range rows {
+		out += fmt.Sprintf("%-14s %-10s %5.1f%%\n", r.Workload, r.Platform, r.Percent)
+	}
+	return out
+}

@@ -1,0 +1,21 @@
+package isofs
+
+import (
+	"fmt"
+	"testing"
+)
+
+func BenchmarkWriteRead32Scripts(b *testing.B) {
+	im := New()
+	for i := 0; i < 32; i++ {
+		im.Add(fmt.Sprintf("scripts/%03d.sh", i), []byte("#!vmplant-action\nop=create-user\nparam.name=u\n"))
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		blob := im.Bytes()
+		if _, err := Read(blob); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,41 @@
+package match
+
+import (
+	"testing"
+
+	"vmplants/internal/actions"
+)
+
+func BenchmarkEvaluateFigure3(b *testing.B) {
+	g := invigoGraph(b)
+	perf := cachedABC()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		r := Evaluate(g, perf)
+		if !r.OK {
+			b.Fatal(r.Reason)
+		}
+	}
+}
+
+func BenchmarkBestOver32Candidates(b *testing.B) {
+	g := invigoGraph(b)
+	var cands []Candidate
+	for i := 0; i < 32; i++ {
+		n := i % 4
+		cands = append(cands, Candidate{
+			ID:        string(rune('a' + i)),
+			Hardware:  hw(64, 4096),
+			Performed: cachedABC()[:n],
+		})
+	}
+	_ = actions.Ops
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, _, ok := Best(hw(64, 4096), g, cands); !ok {
+			b.Fatal("no match")
+		}
+	}
+}

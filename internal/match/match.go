@@ -1,0 +1,209 @@
+// Package match implements the Production Process Planner's partial
+// matching of configuration DAGs against cached "golden" images — the
+// three tests the paper defines in §3.2:
+//
+//   - Subset Test: every operation performed on the cached image is also
+//     required by the requested machine's DAG.
+//   - Prefix Test: an operation may appear on the cached image only if
+//     all of its DAG predecessors were also performed.
+//   - Partial Order Test: the order in which the cached image's
+//     operations were performed is a linear extension of the DAG's
+//     partial order restricted to those operations.
+//
+// A successful match yields a residual plan: the topologically sorted
+// actions still to execute after cloning (Figure 3 steps 3–5).
+package match
+
+import (
+	"fmt"
+
+	"vmplants/internal/core"
+	"vmplants/internal/dag"
+)
+
+// Test identifies which of the paper's matching tests failed.
+type Test string
+
+// Failure reasons.
+const (
+	TestHardware     Test = "hardware"
+	TestSubset       Test = "subset"
+	TestPrefix       Test = "prefix"
+	TestPartialOrder Test = "partial-order"
+)
+
+// Result reports the outcome of matching one cached image against one
+// requested DAG.
+type Result struct {
+	// OK is true when all tests pass.
+	OK bool
+	// Failed names the first test that failed (zero when OK).
+	Failed Test
+	// Reason is a human-readable explanation of a failure.
+	Reason string
+	// Matched lists the DAG node IDs satisfied by the cached image, in
+	// the image's performed order.
+	Matched []string
+	// Residual lists the DAG node IDs still to execute, in a
+	// deterministic topological order consistent with Matched as prefix.
+	Residual []string
+}
+
+// Score is the matcher's preference value: the number of requested
+// operations the image already has performed. The PPP picks the
+// feasible image with the highest score (most configuration work
+// already done); ties break toward smaller disk (cheaper state).
+func (r Result) Score() int { return len(r.Matched) }
+
+// Evaluate runs the three DAG tests for a cached image whose recorded
+// configuration history is performed (in execution order) against the
+// requested graph g. Hardware is checked separately; see Best.
+func Evaluate(g *dag.Graph, performed []dag.Action) Result {
+	keys := g.ActionKeys() // node ID -> action key
+	// Index unmatched nodes by action key. Several nodes may share a
+	// key; each performed action consumes one.
+	byKey := make(map[string][]string)
+	for _, id := range g.ActionIDs() {
+		k := keys[id]
+		byKey[k] = append(byKey[k], id)
+	}
+
+	// Subset test: bind each performed action to a distinct DAG node.
+	matched := make([]string, 0, len(performed))
+	matchedSet := make(map[string]bool, len(performed))
+	for i, a := range performed {
+		k := a.Key()
+		ids := byKey[k]
+		if len(ids) == 0 {
+			return Result{
+				Failed: TestSubset,
+				Reason: fmt.Sprintf("image operation %d (%s) is not required by the request", i, a.Op),
+			}
+		}
+		id := ids[0]
+		byKey[k] = ids[1:]
+		matched = append(matched, id)
+		matchedSet[id] = true
+	}
+
+	// Prefix test: every matched node's action ancestors must be matched.
+	for _, id := range matched {
+		for anc := range g.Ancestors(id) {
+			if anc == dag.StartID {
+				continue
+			}
+			if !matchedSet[anc] {
+				return Result{
+					Failed: TestPrefix,
+					Reason: fmt.Sprintf("image has %s but not its prerequisite %s", id, anc),
+				}
+			}
+		}
+	}
+
+	// Partial order test: performed order must be a linear extension.
+	if !g.IsLinearExtension(matched) {
+		return Result{
+			Failed: TestPartialOrder,
+			Reason: "image operations were performed in an order the DAG forbids",
+		}
+	}
+
+	// Residual plan: topological order of unmatched nodes. Because the
+	// matched set is ancestor-closed (prefix test), removing it leaves a
+	// well-formed suffix; a full topo sort filtered to unmatched nodes is
+	// a valid execution order.
+	topo, err := g.TopoSort()
+	if err != nil {
+		return Result{Failed: TestPartialOrder, Reason: "request DAG is cyclic"}
+	}
+	var residual []string
+	for _, id := range topo {
+		if id == dag.StartID || id == dag.FinishID || matchedSet[id] {
+			continue
+		}
+		residual = append(residual, id)
+	}
+	return Result{OK: true, Matched: matched, Residual: residual}
+}
+
+// Candidate pairs a cached image's identity with what the matcher needs
+// to know about it.
+type Candidate struct {
+	// ID names the golden image (warehouse key).
+	ID string
+	// Hardware is the image's checkpointed hardware configuration.
+	Hardware core.HardwareSpec
+	// Performed is the image's recorded configuration history, in
+	// execution order, starting from a blank machine.
+	Performed []dag.Action
+}
+
+// Ranked is a candidate together with its evaluation.
+type Ranked struct {
+	Candidate Candidate
+	Result    Result
+}
+
+// Best evaluates every candidate against the request and returns the
+// feasible matches sorted best-first: highest score, then smallest disk,
+// then lexicographically smallest ID for determinism. The boolean is
+// false when no candidate passes all tests.
+func Best(spec core.HardwareSpec, g *dag.Graph, cands []Candidate) (Ranked, []Ranked, bool) {
+	var feasible []Ranked
+	for _, c := range cands {
+		if !c.Hardware.Satisfies(spec) {
+			continue
+		}
+		r := Evaluate(g, c.Performed)
+		if !r.OK {
+			continue
+		}
+		feasible = append(feasible, Ranked{Candidate: c, Result: r})
+	}
+	if len(feasible) == 0 {
+		return Ranked{}, nil, false
+	}
+	sortRanked(feasible)
+	return feasible[0], feasible, true
+}
+
+func sortRanked(rs []Ranked) {
+	// Insertion sort: candidate lists are small and this avoids pulling
+	// in sort for a three-key comparison.
+	for i := 1; i < len(rs); i++ {
+		for j := i; j > 0 && better(rs[j], rs[j-1]); j-- {
+			rs[j], rs[j-1] = rs[j-1], rs[j]
+		}
+	}
+}
+
+func better(a, b Ranked) bool {
+	if a.Result.Score() != b.Result.Score() {
+		return a.Result.Score() > b.Result.Score()
+	}
+	if a.Candidate.Hardware.DiskMB != b.Candidate.Hardware.DiskMB {
+		return a.Candidate.Hardware.DiskMB < b.Candidate.Hardware.DiskMB
+	}
+	return a.Candidate.ID < b.Candidate.ID
+}
+
+// TemplateEvaluate is the ablation baseline modeled on template-based
+// provisioning (VMware VirtualCenter server templates, paper §5): a
+// cached image is usable only when its configuration history covers the
+// requested DAG *exactly* — same operations, nothing left to configure.
+// There is no partial credit: the result is either a full match with an
+// empty residual, or a miss.
+func TemplateEvaluate(g *dag.Graph, performed []dag.Action) Result {
+	r := Evaluate(g, performed)
+	if !r.OK {
+		return r
+	}
+	if len(r.Residual) != 0 {
+		return Result{
+			Failed: TestSubset,
+			Reason: fmt.Sprintf("template match requires exact configuration; %d operations missing", len(r.Residual)),
+		}
+	}
+	return r
+}

@@ -1,0 +1,670 @@
+// Package plant implements the VMPlant service (paper §3.2, Figure 2):
+// the per-node daemon whose Production Process Planner (PPP) matches
+// creation requests against the VM Warehouse, drives the production
+// line to clone and configure golden machines, maintains the VM
+// Information System, allocates host-only networks to client domains,
+// and answers the VMShop's cost-estimate (bid) requests.
+package plant
+
+import (
+	"errors"
+	"fmt"
+	"strings"
+	"time"
+
+	"vmplants/internal/classad"
+	"vmplants/internal/cluster"
+	"vmplants/internal/core"
+	"vmplants/internal/cost"
+	"vmplants/internal/dag"
+	"vmplants/internal/match"
+	"vmplants/internal/sim"
+	"vmplants/internal/simnet"
+	"vmplants/internal/vdisk"
+	"vmplants/internal/vmm"
+	"vmplants/internal/warehouse"
+)
+
+// Config tunes one plant.
+type Config struct {
+	// MaxVMs caps hosted VMs (the paper's §3.4 example uses 32);
+	// 0 means unlimited.
+	MaxVMs int
+	// HostOnlyNetworks is the number of statically installed vmnet
+	// switches (the paper's example uses 4).
+	HostOnlyNetworks int
+	// CostModel prices Estimate requests; nil selects the paper's
+	// network+compute model.
+	CostModel cost.Model
+	// CloneMode selects link cloning (default) or the full-copy
+	// ablation baseline.
+	CloneMode vdisk.CloneMode
+	// Backends are the available production lines; nil selects both
+	// defaults.
+	Backends vmm.Registry
+	// FailProb injects per-operation configuration failures: map of
+	// action op → probability. Used by tests and failure experiments.
+	FailProb map[string]float64
+	// DisablePartialMatch forces the PPP to ignore cached configuration
+	// work and clone only from images with no performed actions — the
+	// A1 ablation.
+	DisablePartialMatch bool
+	// TemplateMatch makes the PPP accept only exact-configuration
+	// template hits (VirtualCenter-style), the A2 ablation.
+	TemplateMatch bool
+	// PolicyAd is an optional administrator-supplied classad merged
+	// into the plant's resource ad; its Requirements expression lets a
+	// site refuse requests during matchmaking (e.g.
+	// `TARGET.MemoryMB <= 256 && TARGET.Domain != "banned.example"`).
+	PolicyAd *classad.Ad
+}
+
+// precreated is the plant's pool of speculatively pre-created clones
+// (paper §4.3/§6: "latency-hiding optimizations such as speculative
+// pre-creation of VMs can be conceived"): suspended, unconfigured
+// clones of golden images that a matching creation request can resume
+// instead of paying the full state copy.
+type precreated struct {
+	vm    *vmm.VM
+	clone vmm.CloneStats // the cost paid off the critical path
+}
+
+// Plant is one VMPlant instance.
+type Plant struct {
+	name string
+	cfg  Config
+	node *cluster.Node
+	wh   *warehouse.Warehouse
+	nets *simnet.NetPool
+	macs *simnet.MACPool
+	info *InfoSystem
+	rng  *sim.RNG
+
+	// pool holds speculatively pre-created clones, keyed by golden
+	// image name.
+	pool      map[string][]precreated
+	poolSeq   int
+	creations []CreateStats
+}
+
+// CreateStats records one successful creation's breakdown.
+type CreateStats struct {
+	VMID        core.VMID
+	MemoryMB    int
+	Clone       vmm.CloneStats
+	ConfigTime  time.Duration
+	Total       time.Duration // plant-side create latency
+	MatchedOps  int
+	ResidualOps int
+	Golden      string
+	// PrecreateHit is true when the request was served by resuming a
+	// speculatively pre-created clone instead of cloning on demand.
+	PrecreateHit bool
+}
+
+// New creates a plant on the given node, serving images from wh.
+func New(name string, node *cluster.Node, wh *warehouse.Warehouse, cfg Config) *Plant {
+	if cfg.CostModel == nil {
+		cfg.CostModel = cost.DefaultNetworkCompute()
+	}
+	if cfg.Backends == nil {
+		cfg.Backends = vmm.DefaultRegistry()
+	}
+	if cfg.HostOnlyNetworks <= 0 {
+		cfg.HostOnlyNetworks = 4
+	}
+	return &Plant{
+		name: name,
+		cfg:  cfg,
+		node: node,
+		wh:   wh,
+		nets: simnet.NewNetPool(name+"/vmnet", cfg.HostOnlyNetworks),
+		macs: simnet.NewMACPool(),
+		info: NewInfoSystem(),
+		pool: make(map[string][]precreated),
+		rng:  node.RNG().Child(),
+	}
+}
+
+// Name returns the plant's name.
+func (pl *Plant) Name() string { return pl.name }
+
+// Node returns the hosting node.
+func (pl *Plant) Node() *cluster.Node { return pl.node }
+
+// ActiveVMs reports how many VMs the plant currently hosts.
+func (pl *Plant) ActiveVMs() int { return pl.info.Count() }
+
+// VMIDs lists the active VMs.
+func (pl *Plant) VMIDs() []core.VMID { return pl.info.IDs() }
+
+// Networks exposes the host-only network pool (the VNET server uses it
+// to resolve a domain's switch).
+func (pl *Plant) Networks() *simnet.NetPool { return pl.nets }
+
+// CreationLog returns the accumulated per-creation statistics.
+func (pl *Plant) CreationLog() []CreateStats {
+	return append([]CreateStats(nil), pl.creations...)
+}
+
+// view snapshots the plant for the cost model.
+func (pl *Plant) view(domain string) cost.PlantView {
+	return cost.PlantView{
+		VMs:              pl.info.Count(),
+		MaxVMs:           pl.cfg.MaxVMs,
+		FreeMemoryMB:     pl.node.FreeMB(),
+		DomainHasNetwork: pl.nets.HasDomain(domain),
+		FreeNetworks:     pl.nets.FreeCount(),
+	}
+}
+
+// ResourceAd describes the plant as a classad for matchmaking during
+// bidding: capacity and load attributes, plus the administrator's
+// policy ad (including any site Requirements).
+func (pl *Plant) ResourceAd() *classad.Ad {
+	ad := classad.New().
+		SetString("Plant", pl.name).
+		SetString("Arch", "x86").
+		SetInt("FreeMemoryMB", int64(pl.node.FreeMB())).
+		SetInt("VMs", int64(pl.info.Count())).
+		SetInt("MaxVMs", int64(pl.cfg.MaxVMs)).
+		SetInt("FreeNetworks", int64(pl.nets.FreeCount())).
+		SetStrings("GoldenImages", pl.wh.List()...)
+	if pl.cfg.PolicyAd != nil {
+		ad.Merge(pl.cfg.PolicyAd)
+	}
+	return ad
+}
+
+// Estimate prices a creation request (the bid of §3.4). Infeasible when
+// the cost model refuses or no golden image can serve the request.
+func (pl *Plant) Estimate(p *sim.Proc, spec *core.Spec) core.Cost {
+	// Bid computation latency: small, but real on the wire.
+	p.Sleep(sim.Seconds(0.02 * pl.node.Jitter()))
+	if _, err := pl.plan(spec); err != nil {
+		return core.Infeasible
+	}
+	return pl.cfg.CostModel.Estimate(pl.view(spec.Domain), spec.Hardware.MemoryMB)
+}
+
+// plan runs warehouse matching for a spec without side effects.
+func (pl *Plant) plan(spec *core.Spec) (match.Ranked, error) {
+	backend, err := pl.cfg.Backends.Get(spec.Backend)
+	if err != nil {
+		return match.Ranked{}, err
+	}
+	cands := pl.wh.Candidates(backend.Name())
+	if pl.cfg.DisablePartialMatch {
+		var blank []match.Candidate
+		for _, c := range cands {
+			if len(c.Performed) == 0 {
+				blank = append(blank, c)
+			}
+		}
+		cands = blank
+	}
+	if pl.cfg.TemplateMatch {
+		// Template provisioning: either an exact-configuration template
+		// hit, or fall back to bare installation from a blank image —
+		// there is no partial credit.
+		var usable []match.Candidate
+		for _, c := range cands {
+			exact := c.Hardware.Satisfies(spec.Hardware) && match.TemplateEvaluate(spec.Graph, c.Performed).OK
+			if exact || len(c.Performed) == 0 {
+				usable = append(usable, c)
+			}
+		}
+		cands = usable
+	}
+	best, _, ok := match.Best(spec.Hardware, spec.Graph, cands)
+	if !ok {
+		return match.Ranked{}, fmt.Errorf("plant %s: no golden machine matches the request", pl.name)
+	}
+	return best, nil
+}
+
+// Create is the PPP's production order (Figure 2): match, clone,
+// configure, classad. The id is minted by the shop.
+func (pl *Plant) Create(p *sim.Proc, id core.VMID, spec *core.Spec) (*classad.Ad, error) {
+	start := p.Now()
+	if err := spec.Validate(); err != nil {
+		return nil, err
+	}
+	if pl.cfg.MaxVMs > 0 && pl.info.Count() >= pl.cfg.MaxVMs {
+		return nil, fmt.Errorf("plant %s: at VM capacity (%d)", pl.name, pl.cfg.MaxVMs)
+	}
+	best, err := pl.plan(spec)
+	if err != nil {
+		return nil, err
+	}
+	golden, ok := pl.wh.Lookup(best.Candidate.ID)
+	if !ok {
+		return nil, fmt.Errorf("plant %s: matched image %q vanished", pl.name, best.Candidate.ID)
+	}
+	backend, err := pl.cfg.Backends.Get(spec.Backend)
+	if err != nil {
+		return nil, err
+	}
+
+	// Host-only network for the client's domain.
+	honet, _, err := pl.nets.Acquire(spec.Domain)
+	if err != nil {
+		return nil, fmt.Errorf("plant %s: %w", pl.name, err)
+	}
+	releaseNet := func() { pl.nets.Release(spec.Domain) }
+
+	golden.Ref() // the clone's disk links into the image's state
+	releaseRef := func() { golden.Unref() }
+
+	// Clone — or resume a speculatively pre-created clone of the same
+	// golden image, paying only the resume instead of the state copy.
+	var vm *vmm.VM
+	var cloneStats vmm.CloneStats
+	hit := false
+	if pre, ok := pl.takePrecreated(golden.Name); ok {
+		cloneStart := p.Now()
+		if err := pre.vm.Rebrand(id, spec.Name); err == nil {
+			if err := pre.vm.Resume(p); err == nil {
+				vm = pre.vm
+				cloneStats = pre.clone // off-critical-path cost, for the record
+				cloneStats.Total = p.Now() - cloneStart
+				hit = true
+				// The pool's own image reference is superseded by the
+				// one this creation took above.
+				golden.Unref()
+			}
+		}
+	}
+	if vm == nil {
+		var err error
+		vm, cloneStats, err = backend.Clone(p, pl.node, golden, id, pl.cfg.CloneMode)
+		if err != nil {
+			releaseNet()
+			releaseRef()
+			return nil, fmt.Errorf("plant %s: clone: %w", pl.name, err)
+		}
+	}
+	if err := vm.AttachNIC(honet, pl.macs.Next()); err != nil {
+		vm.Collect(p)
+		releaseNet()
+		releaseRef()
+		return nil, err
+	}
+
+	// Configure the residual sub-graph.
+	cfgStart := p.Now()
+	if err := pl.configure(p, vm, spec.Graph, best.Result.Residual); err != nil {
+		vm.Collect(p)
+		releaseNet()
+		releaseRef()
+		return nil, fmt.Errorf("plant %s: configure: %w", pl.name, err)
+	}
+	cfgTime := p.Now() - cfgStart
+
+	// Classad for the information system and the client.
+	ad := pl.buildAd(p, id, spec, vm, golden, best, cloneStats)
+	pl.info.store(&record{vm: vm, ad: ad, domain: spec.Domain, golden: golden, createdAt: p.Now()})
+	pl.creations = append(pl.creations, CreateStats{
+		VMID:         id,
+		MemoryMB:     spec.Hardware.MemoryMB,
+		Clone:        cloneStats,
+		ConfigTime:   cfgTime,
+		Total:        p.Now() - start,
+		MatchedOps:   len(best.Result.Matched),
+		ResidualOps:  len(best.Result.Residual),
+		Golden:       golden.Name,
+		PrecreateHit: hit,
+	})
+	return ad.Clone(), nil
+}
+
+// configure executes the residual plan: guest actions are delivered via
+// a configuration CD-ROM parsed by the guest agent, host actions run on
+// the production line directly. Error policies (retries, handler
+// sub-graphs, continue) follow the DAG's per-node declarations.
+func (pl *Plant) configure(p *sim.Proc, vm *vmm.VM, g *dag.Graph, residual []string) error {
+	if len(residual) == 0 {
+		return nil
+	}
+	// Burn every residual guest action onto one CD, in plan order. The
+	// guest agent parses it; we then execute in plan order, interleaving
+	// host actions at the right positions.
+	var guestActs []dag.Action
+	for _, nid := range residual {
+		n, ok := g.Node(nid)
+		if !ok {
+			return fmt.Errorf("residual node %q missing from DAG", nid)
+		}
+		if n.Action.Target == dag.Guest {
+			guestActs = append(guestActs, n.Action)
+		}
+	}
+	if len(guestActs) > 0 {
+		cd, err := vmm.BuildConfigCD(guestActs)
+		if err != nil {
+			return err
+		}
+		if err := vm.AttachCD(p, cd.Bytes()); err != nil {
+			return err
+		}
+		defer vm.DetachCD(p)
+		// Cross-check what the guest agent read back.
+		if got := vm.CDActions(); len(got) != len(guestActs) {
+			return fmt.Errorf("guest agent parsed %d scripts, burned %d", len(got), len(guestActs))
+		}
+	}
+	for _, nid := range residual {
+		n, _ := g.Node(nid)
+		if err := pl.runWithPolicy(p, vm, n); err != nil {
+			return fmt.Errorf("action %q (%s): %w", nid, n.Action.Op, err)
+		}
+	}
+	return nil
+}
+
+// runWithPolicy executes one DAG node with its error policy: the action
+// itself with injected-failure checks, retries, then the handler chain,
+// then continue-or-abort.
+func (pl *Plant) runWithPolicy(p *sim.Proc, vm *vmm.VM, n *dag.Node) error {
+	attempt := func() error {
+		if prob := pl.cfg.FailProb[n.Action.Op]; prob > 0 && pl.rng.Bernoulli(prob) {
+			// The action consumed its time before failing.
+			p.Sleep(sim.Seconds(0.5 * pl.node.Jitter()))
+			return fmt.Errorf("injected failure in %s", n.Action.Op)
+		}
+		return pl.exec(p, vm, n.Action)
+	}
+	err := attempt()
+	for r := 0; err != nil && r < n.OnError.Retries; r++ {
+		err = attempt()
+	}
+	if err == nil {
+		return nil
+	}
+	// Retries exhausted: run the error-handling sub-graph.
+	for _, h := range n.OnError.Handler {
+		if herr := pl.exec(p, vm, h); herr != nil {
+			return fmt.Errorf("%w; error handler %s also failed: %v", err, h.Op, herr)
+		}
+	}
+	if n.OnError.Continue {
+		return nil
+	}
+	return err
+}
+
+func (pl *Plant) exec(p *sim.Proc, vm *vmm.VM, a dag.Action) error {
+	if a.Target == dag.Host {
+		return vm.ExecHostAction(p, a)
+	}
+	return vm.ExecGuestAction(p, a)
+}
+
+// buildAd assembles the creation classad: identity, configuration
+// outputs (IP, MAC, credentials), and production metrics.
+func (pl *Plant) buildAd(p *sim.Proc, id core.VMID, spec *core.Spec, vm *vmm.VM, golden *warehouse.Image, best match.Ranked, cs vmm.CloneStats) *classad.Ad {
+	ad := classad.New().
+		SetString(core.AttrVMID, string(id)).
+		SetString(core.AttrName, spec.Name).
+		SetString(core.AttrState, core.StateRunning.String()).
+		SetInt(core.AttrMemoryMB, int64(spec.Hardware.MemoryMB)).
+		SetInt(core.AttrDiskMB, int64(spec.Hardware.DiskMB)).
+		SetString(core.AttrArch, spec.Hardware.Arch).
+		SetString(core.AttrDomain, spec.Domain).
+		SetString(core.AttrPlant, pl.name).
+		SetString(core.AttrBackend, vm.Backend()).
+		SetString(core.AttrNetwork, vm.Network().ID).
+		SetString(core.AttrGoldenImage, golden.Name).
+		SetInt(core.AttrMatchedOps, int64(len(best.Result.Matched))).
+		SetReal(core.AttrCloneSecs, cs.Total.Seconds()).
+		SetInt(core.AttrCreatedAt, int64(p.Now()/time.Second))
+	if ip := vm.Guest().IP; ip != "" {
+		ad.SetString(core.AttrIP, ip)
+	}
+	ad.SetString(core.AttrMAC, vm.MAC().String())
+	// Action outputs (paper: "configuration-specific data resulting from
+	// the output of action DAG nodes").
+	for _, k := range sortedKeys(vm.Guest().Outputs) {
+		ad.SetString("Out_"+sanitizeAttr(k), vm.Guest().Outputs[k])
+	}
+	return ad
+}
+
+func sortedKeys(m map[string]string) []string {
+	out := make([]string, 0, len(m))
+	for k := range m {
+		out = append(out, k)
+	}
+	for i := 1; i < len(out); i++ {
+		for j := i; j > 0 && out[j] < out[j-1]; j-- {
+			out[j], out[j-1] = out[j-1], out[j]
+		}
+	}
+	return out
+}
+
+// sanitizeAttr maps an output key to a legal classad attribute name.
+func sanitizeAttr(s string) string {
+	var b strings.Builder
+	for _, r := range s {
+		switch {
+		case r >= 'a' && r <= 'z', r >= 'A' && r <= 'Z', r >= '0' && r <= '9', r == '_':
+			b.WriteRune(r)
+		default:
+			b.WriteByte('_')
+		}
+	}
+	return b.String()
+}
+
+// Query returns a copy of an active VM's classad.
+func (pl *Plant) Query(p *sim.Proc, id core.VMID) (*classad.Ad, bool) {
+	p.Sleep(sim.Seconds(0.01 * pl.node.Jitter()))
+	r, ok := pl.info.get(id)
+	if !ok {
+		return nil, false
+	}
+	r.ad.SetInt(core.AttrUptimeSecs, int64((p.Now()-r.createdAt)/time.Second))
+	return r.ad.Clone(), true
+}
+
+// Collect destroys an active VM and reclaims its resources, including
+// the domain's host-only network slot.
+func (pl *Plant) Collect(p *sim.Proc, id core.VMID) error {
+	r, ok := pl.info.get(id)
+	if !ok {
+		return fmt.Errorf("plant %s: no VM %s", pl.name, id)
+	}
+	if err := r.vm.Collect(p); err != nil {
+		return err
+	}
+	if err := pl.nets.Release(r.domain); err != nil {
+		return err
+	}
+	if r.golden != nil {
+		if err := r.golden.Unref(); err != nil {
+			return err
+		}
+	}
+	pl.info.remove(id)
+	return nil
+}
+
+// SuspendVM checkpoints an active VM and releases its host memory — how
+// In-VIGO parks idle virtual workspaces. The classad tracks the state.
+func (pl *Plant) SuspendVM(p *sim.Proc, id core.VMID) error {
+	r, ok := pl.info.get(id)
+	if !ok {
+		return fmt.Errorf("plant %s: no VM %s", pl.name, id)
+	}
+	if err := r.vm.Suspend(p); err != nil {
+		return err
+	}
+	r.ad.SetString(core.AttrState, "suspended")
+	return nil
+}
+
+// ResumeVM brings a suspended VM back to running.
+func (pl *Plant) ResumeVM(p *sim.Proc, id core.VMID) error {
+	r, ok := pl.info.get(id)
+	if !ok {
+		return fmt.Errorf("plant %s: no VM %s", pl.name, id)
+	}
+	if err := r.vm.Resume(p); err != nil {
+		return err
+	}
+	r.ad.SetString(core.AttrState, core.StateRunning.String())
+	return nil
+}
+
+// MigrateTo moves an active VM to another plant (paper §6 future work:
+// "migration of active VMs across plants"): suspend, stream the private
+// state over the cluster interconnect, re-home the NIC on a host-only
+// network of the destination's matching domain, resume, and hand the
+// information-system record over. The VMID is preserved; the shop's
+// soft routing heals on its next query.
+func (pl *Plant) MigrateTo(p *sim.Proc, id core.VMID, dst *Plant) error {
+	if dst == pl {
+		return nil
+	}
+	r, ok := pl.info.get(id)
+	if !ok {
+		return fmt.Errorf("plant %s: no VM %s", pl.name, id)
+	}
+	if dst.cfg.MaxVMs > 0 && dst.info.Count() >= dst.cfg.MaxVMs {
+		return fmt.Errorf("plant %s: destination %s at VM capacity", pl.name, dst.name)
+	}
+	vm := r.vm
+	if vm.State() != vmm.Running {
+		return fmt.Errorf("plant %s: VM %s is %s; cannot migrate", pl.name, id, vm.State())
+	}
+	dstNet, _, err := dst.nets.Acquire(r.domain)
+	if err != nil {
+		return fmt.Errorf("plant %s: destination network: %w", pl.name, err)
+	}
+	abort := func(cause error) error {
+		dst.nets.Release(r.domain)
+		return cause
+	}
+	mac := vm.MAC()
+	if err := vm.Suspend(p); err != nil {
+		return abort(err)
+	}
+	if err := vm.Migrate(p, dst.node); err != nil {
+		return abort(err)
+	}
+	vm.DetachNIC()
+	if err := vm.Resume(p); err != nil {
+		return abort(err)
+	}
+	if err := vm.AttachNIC(dstNet, mac); err != nil {
+		return abort(err)
+	}
+	// Hand over bookkeeping: record moves, source network slot freed.
+	pl.info.remove(id)
+	if err := pl.nets.Release(r.domain); err != nil {
+		return err
+	}
+	r.ad.SetString(core.AttrPlant, dst.name)
+	r.ad.SetString(core.AttrNetwork, dstNet.ID)
+	dst.info.store(r)
+	return nil
+}
+
+// takePrecreated pops a pooled clone of the named image.
+func (pl *Plant) takePrecreated(image string) (precreated, bool) {
+	q := pl.pool[image]
+	if len(q) == 0 {
+		return precreated{}, false
+	}
+	pre := q[0]
+	pl.pool[image] = q[1:]
+	return pre, true
+}
+
+// PoolSize reports how many pre-created clones of the image are parked.
+func (pl *Plant) PoolSize(image string) int { return len(pl.pool[image]) }
+
+// Precreate speculatively clones the named golden image count times and
+// parks the clones suspended, so later matching requests resume them
+// instead of paying the state copy on the critical path (paper §4.3:
+// "latency-hiding optimizations such as speculative pre-creation of VMs
+// can be conceived"). It is meant to run during plant idle time.
+func (pl *Plant) Precreate(p *sim.Proc, image string, count int) error {
+	golden, ok := pl.wh.Lookup(image)
+	if !ok {
+		return fmt.Errorf("plant %s: no golden image %q", pl.name, image)
+	}
+	backend, err := pl.cfg.Backends.Get(golden.Backend)
+	if err != nil {
+		return err
+	}
+	for i := 0; i < count; i++ {
+		pl.poolSeq++
+		id := core.VMID(fmt.Sprintf("pre-%s-%d", pl.name, pl.poolSeq))
+		vm, cs, err := backend.Clone(p, pl.node, golden, id, pl.cfg.CloneMode)
+		if err != nil {
+			return fmt.Errorf("plant %s: precreate: %w", pl.name, err)
+		}
+		if err := vm.Suspend(p); err != nil {
+			return fmt.Errorf("plant %s: precreate suspend: %w", pl.name, err)
+		}
+		golden.Ref() // the parked clone links into the image
+		pl.pool[image] = append(pl.pool[image], precreated{vm: vm, clone: cs})
+	}
+	return nil
+}
+
+// PublishImage checkpoints an active VM and publishes it to the VM
+// Warehouse as a new golden image under newName — the paper's §3.2
+// installer workflow ("providing VM installers with the capability of
+// publishing a VM image to the Warehouse, for subsequent instantiations
+// through VMPlant"). The VM briefly pauses while its state is
+// snapshotted and the image's state files are uploaded to the shared
+// warehouse over the node's NFS path; it keeps running afterwards.
+func (pl *Plant) PublishImage(p *sim.Proc, id core.VMID, newName string) error {
+	r, ok := pl.info.get(id)
+	if !ok {
+		return fmt.Errorf("plant %s: no VM %s", pl.name, id)
+	}
+	vm := r.vm
+	if vm.State() != vmm.Running {
+		return fmt.Errorf("plant %s: VM %s is %s; cannot publish", pl.name, id, vm.State())
+	}
+	// Brief stun while the checkpoint is taken.
+	p.Sleep(sim.Seconds(1.0 * pl.node.Jitter()))
+	snap := vm.Disk().Snapshot(newName)
+	im := &warehouse.Image{
+		Name:      newName,
+		Hardware:  vm.Hardware(),
+		Backend:   vm.Backend(),
+		Performed: vm.History(),
+		Guest:     vm.Guest().Clone(),
+		Disk:      snap,
+	}
+	// Upload the image's per-clone state (memory checkpoint and redo
+	// logs) to the warehouse over NFS; the base extents are already
+	// there (this VM link-cloned them) or are accounted at full size
+	// for copy-cloned disks.
+	upload := snap.RedoBytes() + im.MemImageBytes()
+	pl.node.Warehouse().Charge(p, upload, pl.node.Jitter())
+	if err := pl.wh.Publish(im); err != nil {
+		return fmt.Errorf("plant %s: publish %s: %w", pl.name, newName, err)
+	}
+	// Resume stun.
+	p.Sleep(sim.Seconds(1.0 * pl.node.Jitter()))
+	return nil
+}
+
+// VM returns the runtime object for an active VM (tests and the VNET
+// server use it).
+func (pl *Plant) VM(id core.VMID) (*vmm.VM, bool) {
+	r, ok := pl.info.get(id)
+	if !ok {
+		return nil, false
+	}
+	return r.vm, true
+}
+
+// ErrNoGolden is a sentinel match failure cause.
+var ErrNoGolden = errors.New("plant: no golden machine matches")

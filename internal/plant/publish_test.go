@@ -1,0 +1,162 @@
+package plant
+
+import (
+	"testing"
+	"time"
+
+	"vmplants/internal/actions"
+	"vmplants/internal/core"
+	"vmplants/internal/dag"
+	"vmplants/internal/sim"
+)
+
+// appSpec builds a request whose DAG extends the golden history with an
+// expensive application install plus per-instance personalization.
+func appSpec(t testing.TB, user string) *core.Spec {
+	t.Helper()
+	g, err := dag.NewBuilder().
+		Add("os", act(actions.OpInstallOS, "distro", "mandrake-8.1")).
+		Add("vnc", act(actions.OpInstallPackage, "name", "vnc-server"), "os").
+		Add("app", act(actions.OpInstallPackage, "name", "matlab", "seconds", "300"), "vnc").
+		Add("user", act(actions.OpCreateUser, "name", user), "app").
+		Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return &core.Spec{
+		Name:     "app-" + user,
+		Hardware: core.HardwareSpec{Arch: "x86", MemoryMB: 64, DiskMB: 2048},
+		Domain:   "ufl.edu",
+		Graph:    g,
+	}
+}
+
+func TestPublishImageAcceleratesLaterCreations(t *testing.T) {
+	r := newRig(t, Config{})
+	var firstTook, secondTook time.Duration
+	r.run(t, func(p *sim.Proc) {
+		// First request pays the 300 s application install (golden covers
+		// only os+vnc).
+		start := p.Now()
+		ad, err := r.pl.Create(p, "vm-s-1", appSpec(t, "alice"))
+		if err != nil {
+			t.Fatal(err)
+		}
+		firstTook = p.Now() - start
+		if ad.GetInt(core.AttrMatchedOps, 0) != 2 {
+			t.Fatalf("first create matched %d ops", ad.GetInt(core.AttrMatchedOps, 0))
+		}
+
+		// The installer publishes the configured machine.
+		if err := r.pl.PublishImage(p, "vm-s-1", "mandrake-matlab"); err != nil {
+			t.Fatal(err)
+		}
+		if _, ok := r.wh.Lookup("mandrake-matlab"); !ok {
+			t.Fatal("published image not in warehouse")
+		}
+
+		// The second request for a different user matches the published
+		// image: os, vnc, app AND alice's user action are all performed
+		// on it — but "create-user bob" differs from "create-user alice",
+		// so the subset test rejects the 4-op image... unless the new
+		// image is usable. The published history includes create-user
+		// alice, which bob's DAG does not request, so the matcher must
+		// fall back to the original 2-op golden for bob. A request that
+		// *does* include alice's user (a re-instantiation of her
+		// workspace) gets the full 4-op match.
+		start = p.Now()
+		ad2, err := r.pl.Create(p, "vm-s-2", appSpec(t, "alice"))
+		if err != nil {
+			t.Fatal(err)
+		}
+		secondTook = p.Now() - start
+		if got := ad2.GetString(core.AttrGoldenImage, ""); got != "mandrake-matlab" {
+			t.Errorf("second create cloned %q, want the published image", got)
+		}
+		if ad2.GetInt(core.AttrMatchedOps, 0) != 4 {
+			t.Errorf("second create matched %d ops, want 4", ad2.GetInt(core.AttrMatchedOps, 0))
+		}
+	})
+	// The 300 s install is amortized away.
+	if secondTook >= firstTook/2 {
+		t.Errorf("publish did not amortize: first %v, second %v", firstTook, secondTook)
+	}
+}
+
+func TestPublishedImageServesOtherUsersViaPartialMatch(t *testing.T) {
+	// An image containing an extra action (alice's user) cannot serve
+	// bob (subset test); bob falls back to the 2-op golden.
+	r := newRig(t, Config{})
+	r.run(t, func(p *sim.Proc) {
+		if _, err := r.pl.Create(p, "vm-s-1", appSpec(t, "alice")); err != nil {
+			t.Fatal(err)
+		}
+		if err := r.pl.PublishImage(p, "vm-s-1", "alice-image"); err != nil {
+			t.Fatal(err)
+		}
+		ad, err := r.pl.Create(p, "vm-s-2", appSpec(t, "bob"))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got := ad.GetString(core.AttrGoldenImage, ""); got != "ws-golden" {
+			t.Errorf("bob cloned %q, want the base golden", got)
+		}
+	})
+}
+
+func TestPublishErrors(t *testing.T) {
+	r := newRig(t, Config{})
+	r.run(t, func(p *sim.Proc) {
+		if err := r.pl.PublishImage(p, "vm-ghost", "x"); err == nil {
+			t.Error("publish of unknown VM succeeded")
+		}
+		if _, err := r.pl.Create(p, "vm-s-1", spec(t, "u1")); err != nil {
+			t.Fatal(err)
+		}
+		if err := r.pl.PublishImage(p, "vm-s-1", "img"); err != nil {
+			t.Fatal(err)
+		}
+		// Duplicate image name.
+		if err := r.pl.PublishImage(p, "vm-s-1", "img"); err == nil {
+			t.Error("duplicate image name accepted")
+		}
+		// Collected VM cannot be published.
+		if err := r.pl.Collect(p, "vm-s-1"); err != nil {
+			t.Fatal(err)
+		}
+		if err := r.pl.PublishImage(p, "vm-s-1", "img2"); err == nil {
+			t.Error("publish of collected VM succeeded")
+		}
+	})
+}
+
+func TestPublishedVMKeepsRunningIndependently(t *testing.T) {
+	r := newRig(t, Config{})
+	r.run(t, func(p *sim.Proc) {
+		if _, err := r.pl.Create(p, "vm-s-1", spec(t, "u1")); err != nil {
+			t.Fatal(err)
+		}
+		if err := r.pl.PublishImage(p, "vm-s-1", "img"); err != nil {
+			t.Fatal(err)
+		}
+		// The VM keeps accepting configuration after the snapshot, and
+		// those writes do not leak into the published image.
+		vm, _ := r.pl.VM("vm-s-1")
+		if err := vm.ExecGuestAction(p, act(actions.OpCreateUser, "name", "late-user")); err != nil {
+			t.Fatal(err)
+		}
+		im, _ := r.wh.Lookup("img")
+		if im.Guest.Users["late-user"] {
+			t.Error("post-publish guest state leaked into the image")
+		}
+		for _, a := range im.Performed {
+			if a.Params["name"] == "late-user" {
+				t.Error("post-publish history leaked into the image")
+			}
+		}
+		// The image still clones cleanly.
+		if _, err := r.pl.Create(p, "vm-s-2", spec(t, "u1")); err != nil {
+			t.Fatal(err)
+		}
+	})
+}

@@ -1,0 +1,20 @@
+package proto
+
+import (
+	"bytes"
+	"testing"
+)
+
+func BenchmarkCreateRequestRoundTrip(b *testing.B) {
+	m := sampleCreate(b)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		var buf bytes.Buffer
+		if err := WriteMessage(&buf, m); err != nil {
+			b.Fatal(err)
+		}
+		if _, err := ReadMessage(&buf); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,302 @@
+// Package proto defines the XML message protocol spoken between VMShop
+// clients, the VMShop, and VMPlants (paper §4.1: "Services requested by
+// VMShop clients are specified as XML strings"; §3.1: the shop↔plant
+// binding protocol "uses XML-based requests").
+//
+// Messages are XML documents framed with a 4-byte big-endian length
+// prefix. The same codec runs over real net.Conn streams (the daemons)
+// and over in-memory/simulated transports (the experiments), so the
+// exact bytes on the wire are identical in both settings.
+package proto
+
+import (
+	"encoding/binary"
+	"encoding/xml"
+	"fmt"
+	"io"
+
+	"vmplants/internal/classad"
+	"vmplants/internal/core"
+	"vmplants/internal/dag"
+)
+
+// MaxMessageSize bounds a framed message (DAGs and classads are small;
+// anything larger is a protocol error, not a workload).
+const MaxMessageSize = 4 << 20
+
+// Kind discriminates message types on the wire.
+type Kind string
+
+// Message kinds.
+const (
+	KindCreateRequest     Kind = "create-request"
+	KindCreateResponse    Kind = "create-response"
+	KindQueryRequest      Kind = "query-request"
+	KindQueryResponse     Kind = "query-response"
+	KindDestroyRequest    Kind = "destroy-request"
+	KindDestroyResponse   Kind = "destroy-response"
+	KindEstimateRequest   Kind = "estimate-request"
+	KindEstimateResponse  Kind = "estimate-response"
+	KindPublishRequest    Kind = "publish-request"
+	KindPublishResponse   Kind = "publish-response"
+	KindLifecycleRequest  Kind = "lifecycle-request"
+	KindLifecycleResponse Kind = "lifecycle-response"
+	KindError             Kind = "error"
+)
+
+// Message is the envelope: exactly one of the pointers is non-nil,
+// matching Kind.
+type Message struct {
+	XMLName    xml.Name           `xml:"message"`
+	Kind       Kind               `xml:"kind,attr"`
+	Seq        uint64             `xml:"seq,attr"` // request/response correlation
+	Create     *CreateRequest     `xml:"create-request"`
+	Created    *CreateResponse    `xml:"create-response"`
+	Query      *QueryRequest      `xml:"query-request"`
+	Queried    *QueryResponse     `xml:"query-response"`
+	Destroy    *DestroyRequest    `xml:"destroy-request"`
+	Destroyed  *DestroyResponse   `xml:"destroy-response"`
+	Estimate   *EstimateRequest   `xml:"estimate-request"`
+	Bid        *EstimateResponse  `xml:"estimate-response"`
+	Publish    *PublishRequest    `xml:"publish-request"`
+	Published  *PublishResponse   `xml:"publish-response"`
+	Lifecycle  *LifecycleRequest  `xml:"lifecycle-request"`
+	Lifecycled *LifecycleResponse `xml:"lifecycle-response"`
+	Err        *ErrorResponse     `xml:"error"`
+}
+
+// CreateRequest asks for a new VM built to a specification. VMID is
+// empty on the client→shop leg; the shop mints it and sets it on the
+// shop→plant leg.
+type CreateRequest struct {
+	VMID      string     `xml:"vmid,omitempty"`
+	Name      string     `xml:"name"`
+	Arch      string     `xml:"hardware>arch"`
+	MemoryMB  int        `xml:"hardware>memoryMB"`
+	DiskMB    int        `xml:"hardware>diskMB"`
+	Domain    string     `xml:"network>domain"`
+	ProxyAddr string     `xml:"network>proxy,omitempty"`
+	Token     string     `xml:"network>token,omitempty"`
+	Backend   string     `xml:"backend,omitempty"`
+	Reqs      string     `xml:"requirements,omitempty"`
+	Graph     *dag.Graph `xml:"dag"`
+}
+
+// Spec converts the wire request to the domain type, validating it.
+func (r *CreateRequest) Spec() (*core.Spec, error) {
+	s := &core.Spec{
+		Name:         r.Name,
+		Hardware:     core.HardwareSpec{Arch: r.Arch, MemoryMB: r.MemoryMB, DiskMB: r.DiskMB},
+		Domain:       r.Domain,
+		ProxyAddr:    r.ProxyAddr,
+		Backend:      r.Backend,
+		Requirements: r.Reqs,
+		Graph:        r.Graph,
+	}
+	if err := s.Validate(); err != nil {
+		return nil, err
+	}
+	return s, nil
+}
+
+// FromSpec builds the wire request from the domain type.
+func FromSpec(s *core.Spec, token string) *CreateRequest {
+	return &CreateRequest{
+		Name:      s.Name,
+		Arch:      s.Hardware.Arch,
+		MemoryMB:  s.Hardware.MemoryMB,
+		DiskMB:    s.Hardware.DiskMB,
+		Domain:    s.Domain,
+		ProxyAddr: s.ProxyAddr,
+		Token:     token,
+		Backend:   s.Backend,
+		Reqs:      s.Requirements,
+		Graph:     s.Graph,
+	}
+}
+
+// CreateResponse returns the new VM's classad (paper §3.1: "the client
+// obtains in return a classad").
+type CreateResponse struct {
+	VMID string      `xml:"vmid"`
+	Ad   *classad.Ad `xml:"classad"`
+}
+
+// QueryRequest asks for an active VM's classad.
+type QueryRequest struct {
+	VMID string `xml:"vmid"`
+}
+
+// QueryResponse carries the classad, or Found=false.
+type QueryResponse struct {
+	VMID  string      `xml:"vmid"`
+	Found bool        `xml:"found"`
+	Ad    *classad.Ad `xml:"classad"`
+}
+
+// DestroyRequest collects an active VM.
+type DestroyRequest struct {
+	VMID string `xml:"vmid"`
+}
+
+// DestroyResponse acknowledges collection.
+type DestroyResponse struct {
+	VMID      string `xml:"vmid"`
+	Destroyed bool   `xml:"destroyed"`
+}
+
+// EstimateRequest asks a plant to bid on a creation (shop→plant only).
+type EstimateRequest struct {
+	Create *CreateRequest `xml:"create-request"`
+}
+
+// EstimateResponse is a plant's bid. Cost < 0 means the plant cannot
+// satisfy the request.
+type EstimateResponse struct {
+	Plant string      `xml:"plant"`
+	Cost  float64     `xml:"cost"`
+	Ad    *classad.Ad `xml:"classad"` // the plant's resource classad
+}
+
+// PublishRequest checkpoints an active VM and publishes it to the VM
+// Warehouse as a new golden image (paper §3.2 installer workflow).
+type PublishRequest struct {
+	VMID  string `xml:"vmid"`
+	Image string `xml:"image"`
+}
+
+// PublishResponse acknowledges publication.
+type PublishResponse struct {
+	VMID  string `xml:"vmid"`
+	Image string `xml:"image"`
+}
+
+// Lifecycle operations.
+const (
+	LifecycleSuspend = "suspend"
+	LifecycleResume  = "resume"
+)
+
+// LifecycleRequest suspends or resumes an active VM (In-VIGO parks idle
+// virtual workspaces and resumes them on access).
+type LifecycleRequest struct {
+	VMID string `xml:"vmid"`
+	Op   string `xml:"op"` // LifecycleSuspend or LifecycleResume
+}
+
+// LifecycleResponse acknowledges a lifecycle transition.
+type LifecycleResponse struct {
+	VMID  string `xml:"vmid"`
+	State string `xml:"state"`
+}
+
+// ErrorResponse reports a failed request.
+type ErrorResponse struct {
+	Code   string `xml:"code"`
+	Detail string `xml:"detail"`
+}
+
+// Error codes.
+const (
+	CodeBadRequest  = "bad-request"
+	CodeNoResources = "no-resources"
+	CodeNotFound    = "not-found"
+	CodeInternal    = "internal"
+	CodeUnavailable = "unavailable"
+)
+
+// Errorf builds an error envelope.
+func Errorf(seq uint64, code, format string, args ...any) *Message {
+	return &Message{Kind: KindError, Seq: seq, Err: &ErrorResponse{Code: code, Detail: fmt.Sprintf(format, args...)}}
+}
+
+// validateEnvelope checks the Kind matches the populated body.
+func (m *Message) validateEnvelope() error {
+	bodies := map[Kind]bool{
+		KindCreateRequest:     m.Create != nil,
+		KindCreateResponse:    m.Created != nil,
+		KindQueryRequest:      m.Query != nil,
+		KindQueryResponse:     m.Queried != nil,
+		KindDestroyRequest:    m.Destroy != nil,
+		KindDestroyResponse:   m.Destroyed != nil,
+		KindEstimateRequest:   m.Estimate != nil,
+		KindEstimateResponse:  m.Bid != nil,
+		KindPublishRequest:    m.Publish != nil,
+		KindPublishResponse:   m.Published != nil,
+		KindLifecycleRequest:  m.Lifecycle != nil,
+		KindLifecycleResponse: m.Lifecycled != nil,
+		KindError:             m.Err != nil,
+	}
+	present, known := bodies[m.Kind]
+	if !known {
+		return fmt.Errorf("proto: unknown message kind %q", m.Kind)
+	}
+	if !present {
+		return fmt.Errorf("proto: message kind %q without matching body", m.Kind)
+	}
+	n := 0
+	for _, p := range bodies {
+		if p {
+			n++
+		}
+	}
+	if n != 1 {
+		return fmt.Errorf("proto: message carries %d bodies, want exactly 1", n)
+	}
+	return nil
+}
+
+// Marshal serializes a message to its XML document bytes.
+func Marshal(m *Message) ([]byte, error) {
+	if err := m.validateEnvelope(); err != nil {
+		return nil, err
+	}
+	return xml.Marshal(m)
+}
+
+// Unmarshal parses and validates a message document.
+func Unmarshal(blob []byte) (*Message, error) {
+	var m Message
+	if err := xml.Unmarshal(blob, &m); err != nil {
+		return nil, fmt.Errorf("proto: %w", err)
+	}
+	if err := m.validateEnvelope(); err != nil {
+		return nil, err
+	}
+	return &m, nil
+}
+
+// WriteMessage frames and writes one message.
+func WriteMessage(w io.Writer, m *Message) error {
+	blob, err := Marshal(m)
+	if err != nil {
+		return err
+	}
+	if len(blob) > MaxMessageSize {
+		return fmt.Errorf("proto: message of %d bytes exceeds limit", len(blob))
+	}
+	var hdr [4]byte
+	binary.BigEndian.PutUint32(hdr[:], uint32(len(blob)))
+	if _, err := w.Write(hdr[:]); err != nil {
+		return err
+	}
+	_, err = w.Write(blob)
+	return err
+}
+
+// ReadMessage reads one framed message.
+func ReadMessage(r io.Reader) (*Message, error) {
+	var hdr [4]byte
+	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+		return nil, err
+	}
+	n := binary.BigEndian.Uint32(hdr[:])
+	if n > MaxMessageSize {
+		return nil, fmt.Errorf("proto: frame of %d bytes exceeds limit", n)
+	}
+	blob := make([]byte, n)
+	if _, err := io.ReadFull(r, blob); err != nil {
+		return nil, fmt.Errorf("proto: truncated frame: %w", err)
+	}
+	return Unmarshal(blob)
+}

@@ -1,0 +1,294 @@
+package proto
+
+import (
+	"bytes"
+	"fmt"
+	"net"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"vmplants/internal/actions"
+	"vmplants/internal/classad"
+	"vmplants/internal/dag"
+)
+
+func sampleGraph(t testing.TB) *dag.Graph {
+	t.Helper()
+	g, err := dag.NewBuilder().
+		Add("A", dag.Action{Op: actions.OpInstallOS, Params: map[string]string{"distro": "redhat-8.0"}}).
+		Add("B", dag.Action{Op: actions.OpCreateUser, Params: map[string]string{"name": "ivan"}}, "A").
+		Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return g
+}
+
+func sampleCreate(t testing.TB) *Message {
+	return &Message{
+		Kind: KindCreateRequest,
+		Seq:  7,
+		Create: &CreateRequest{
+			Name:      "workspace-1",
+			Arch:      "x86",
+			MemoryMB:  64,
+			DiskMB:    4096,
+			Domain:    "ufl.edu",
+			ProxyAddr: "proxy.ufl.edu:9000",
+			Token:     "secret",
+			Backend:   "vmware",
+			Graph:     sampleGraph(t),
+		},
+	}
+}
+
+func TestCreateRequestRoundTrip(t *testing.T) {
+	blob, err := Marshal(sampleCreate(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := Unmarshal(blob)
+	if err != nil {
+		t.Fatalf("unmarshal: %v\n%s", err, blob)
+	}
+	if m.Kind != KindCreateRequest || m.Seq != 7 {
+		t.Errorf("envelope = %+v", m)
+	}
+	spec, err := m.Create.Spec()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if spec.Name != "workspace-1" || spec.Hardware.MemoryMB != 64 || spec.Domain != "ufl.edu" {
+		t.Errorf("spec = %+v", spec)
+	}
+	if spec.Graph.Len() != 2 || !spec.Graph.Before("A", "B") {
+		t.Errorf("graph lost: %s", spec.Graph)
+	}
+}
+
+func TestSpecValidation(t *testing.T) {
+	m := sampleCreate(t)
+	m.Create.MemoryMB = 0
+	if _, err := m.Create.Spec(); err == nil {
+		t.Error("zero memory accepted")
+	}
+	m = sampleCreate(t)
+	m.Create.Graph = nil
+	if _, err := m.Create.Spec(); err == nil {
+		t.Error("missing DAG accepted")
+	}
+}
+
+func TestCreateResponseCarriesClassad(t *testing.T) {
+	ad := classad.New().SetString("VMID", "vm-shop-1").SetInt("MemoryMB", 64)
+	m := &Message{Kind: KindCreateResponse, Seq: 7, Created: &CreateResponse{VMID: "vm-shop-1", Ad: ad}}
+	blob, err := Marshal(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	back, err := Unmarshal(blob)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.Created.Ad.GetString("VMID", "") != "vm-shop-1" {
+		t.Errorf("classad lost: %s", back.Created.Ad)
+	}
+}
+
+func TestEnvelopeValidation(t *testing.T) {
+	// Kind without body.
+	if _, err := Marshal(&Message{Kind: KindQueryRequest}); err == nil {
+		t.Error("kind without body accepted")
+	}
+	// Body without matching kind.
+	if _, err := Marshal(&Message{Kind: KindQueryRequest, Destroy: &DestroyRequest{VMID: "x"}}); err == nil {
+		t.Error("mismatched body accepted")
+	}
+	// Two bodies.
+	m := &Message{Kind: KindQueryRequest, Query: &QueryRequest{VMID: "x"}, Destroy: &DestroyRequest{VMID: "x"}}
+	if _, err := Marshal(m); err == nil {
+		t.Error("two bodies accepted")
+	}
+	// Unknown kind.
+	if _, err := Marshal(&Message{Kind: "mystery"}); err == nil {
+		t.Error("unknown kind accepted")
+	}
+}
+
+func TestUnmarshalGarbage(t *testing.T) {
+	if _, err := Unmarshal([]byte("not xml at all <<<")); err == nil {
+		t.Error("garbage accepted")
+	}
+}
+
+func TestFramingRoundTrip(t *testing.T) {
+	var buf bytes.Buffer
+	msgs := []*Message{
+		sampleCreate(t),
+		{Kind: KindQueryRequest, Seq: 1, Query: &QueryRequest{VMID: "vm-1"}},
+		{Kind: KindDestroyRequest, Seq: 2, Destroy: &DestroyRequest{VMID: "vm-1"}},
+		Errorf(3, CodeNotFound, "no such VM %q", "vm-9"),
+	}
+	for _, m := range msgs {
+		if err := WriteMessage(&buf, m); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i, want := range msgs {
+		got, err := ReadMessage(&buf)
+		if err != nil {
+			t.Fatalf("read %d: %v", i, err)
+		}
+		if got.Kind != want.Kind || got.Seq != want.Seq {
+			t.Errorf("message %d: %+v", i, got)
+		}
+	}
+	if _, err := ReadMessage(&buf); err == nil {
+		t.Error("read past end succeeded")
+	}
+}
+
+func TestFramingRejectsOversize(t *testing.T) {
+	var buf bytes.Buffer
+	buf.Write([]byte{0xFF, 0xFF, 0xFF, 0xFF})
+	if _, err := ReadMessage(&buf); err == nil || !strings.Contains(err.Error(), "exceeds") {
+		t.Errorf("oversize frame: %v", err)
+	}
+}
+
+func TestFramingTruncation(t *testing.T) {
+	var buf bytes.Buffer
+	WriteMessage(&buf, &Message{Kind: KindQueryRequest, Query: &QueryRequest{VMID: "x"}})
+	blob := buf.Bytes()
+	for cut := 1; cut < len(blob); cut += 3 {
+		if _, err := ReadMessage(bytes.NewReader(blob[:cut])); err == nil {
+			t.Errorf("truncation at %d accepted", cut)
+		}
+	}
+}
+
+func TestOverRealTCP(t *testing.T) {
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l.Close()
+	done := make(chan *Message, 1)
+	go func() {
+		conn, err := l.Accept()
+		if err != nil {
+			done <- nil
+			return
+		}
+		defer conn.Close()
+		m, err := ReadMessage(conn)
+		if err != nil {
+			done <- nil
+			return
+		}
+		WriteMessage(conn, &Message{Kind: KindEstimateResponse, Seq: m.Seq, Bid: &EstimateResponse{Plant: "node00", Cost: 50}})
+		done <- m
+	}()
+	conn, err := net.Dial("tcp", l.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	req := &Message{Kind: KindEstimateRequest, Seq: 42, Estimate: &EstimateRequest{Create: sampleCreate(t).Create}}
+	if err := WriteMessage(conn, req); err != nil {
+		t.Fatal(err)
+	}
+	resp, err := ReadMessage(conn)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.Kind != KindEstimateResponse || resp.Bid.Cost != 50 || resp.Seq != 42 {
+		t.Errorf("response = %+v", resp)
+	}
+	got := <-done
+	if got == nil || got.Estimate.Create.Name != "workspace-1" {
+		t.Error("server did not receive the request intact")
+	}
+}
+
+func TestFromSpecInverse(t *testing.T) {
+	m := sampleCreate(t)
+	spec, err := m.Create.Spec()
+	if err != nil {
+		t.Fatal(err)
+	}
+	back := FromSpec(spec, "secret")
+	if back.Name != m.Create.Name || back.Domain != m.Create.Domain || back.Token != "secret" {
+		t.Errorf("FromSpec = %+v", back)
+	}
+}
+
+func TestClientConcurrentCalls(t *testing.T) {
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l.Close()
+	go Serve(l, func(req *Message) *Message {
+		return &Message{Kind: KindQueryResponse,
+			Queried: &QueryResponse{VMID: req.Query.VMID, Found: true}}
+	})
+	c, err := Dial(l.Addr().String(), 5*time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	var wg sync.WaitGroup
+	errs := make(chan error, 32)
+	for i := 0; i < 32; i++ {
+		i := i
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			id := fmt.Sprintf("vm-%d", i)
+			resp, err := c.Call(&Message{Kind: KindQueryRequest, Query: &QueryRequest{VMID: id}})
+			if err != nil {
+				errs <- err
+				return
+			}
+			if resp.Queried.VMID != id {
+				errs <- fmt.Errorf("response for %q, want %q", resp.Queried.VMID, id)
+			}
+		}()
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Error(err)
+	}
+}
+
+func TestServeConnSurvivesHandlerPanic(t *testing.T) {
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l.Close()
+	go Serve(l, func(req *Message) *Message {
+		if req.Query.VMID == "boom" {
+			panic("handler exploded")
+		}
+		return &Message{Kind: KindQueryResponse, Queried: &QueryResponse{VMID: req.Query.VMID, Found: true}}
+	})
+	c, err := Dial(l.Addr().String(), 5*time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	// The panicking request yields an error response...
+	if _, err := c.Call(&Message{Kind: KindQueryRequest, Query: &QueryRequest{VMID: "boom"}}); err == nil {
+		t.Error("panicking handler returned success")
+	}
+	// ... and the connection keeps serving.
+	resp, err := c.Call(&Message{Kind: KindQueryRequest, Query: &QueryRequest{VMID: "ok"}})
+	if err != nil || !resp.Queried.Found {
+		t.Errorf("connection dead after panic: %v", err)
+	}
+}

@@ -1,0 +1,107 @@
+package proto
+
+import (
+	"fmt"
+	"net"
+	"sync"
+	"time"
+)
+
+// Client is a request/response connection to a VMPlants service. It is
+// safe for concurrent use; requests are serialized on the stream and
+// correlated by sequence number.
+type Client struct {
+	mu   sync.Mutex
+	conn net.Conn
+	seq  uint64
+	// Timeout bounds each round trip (0 = no deadline).
+	Timeout time.Duration
+}
+
+// Dial connects to a service endpoint.
+func Dial(addr string, timeout time.Duration) (*Client, error) {
+	d := net.Dialer{Timeout: timeout}
+	conn, err := d.Dial("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("proto: dial %s: %w", addr, err)
+	}
+	return &Client{conn: conn, Timeout: timeout}, nil
+}
+
+// NewClient wraps an existing connection.
+func NewClient(conn net.Conn) *Client { return &Client{conn: conn} }
+
+// Call sends m (stamping its Seq) and returns the response. A response
+// whose Seq does not match is a protocol error.
+func (c *Client) Call(m *Message) (*Message, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.seq++
+	m.Seq = c.seq
+	if c.Timeout > 0 {
+		c.conn.SetDeadline(time.Now().Add(c.Timeout))
+	}
+	if err := WriteMessage(c.conn, m); err != nil {
+		return nil, err
+	}
+	resp, err := ReadMessage(c.conn)
+	if err != nil {
+		return nil, err
+	}
+	if resp.Seq != m.Seq {
+		return nil, fmt.Errorf("proto: response seq %d for request %d", resp.Seq, m.Seq)
+	}
+	if resp.Kind == KindError {
+		return nil, fmt.Errorf("proto: remote error %s: %s", resp.Err.Code, resp.Err.Detail)
+	}
+	return resp, nil
+}
+
+// Close closes the underlying connection.
+func (c *Client) Close() error { return c.conn.Close() }
+
+// Handler processes one request message and returns the response. The
+// returned message's Seq is overwritten with the request's.
+type Handler func(*Message) *Message
+
+// Serve accepts connections on l until it is closed, running each
+// connection's request loop in its own goroutine.
+func Serve(l net.Listener, h Handler) {
+	for {
+		conn, err := l.Accept()
+		if err != nil {
+			return
+		}
+		go ServeConn(conn, h)
+	}
+}
+
+// ServeConn runs the request loop for one connection.
+func ServeConn(conn net.Conn, h Handler) {
+	defer conn.Close()
+	for {
+		req, err := ReadMessage(conn)
+		if err != nil {
+			return
+		}
+		resp := safeHandle(h, req)
+		if resp == nil {
+			resp = Errorf(req.Seq, CodeInternal, "handler returned no response")
+		}
+		resp.Seq = req.Seq
+		if err := WriteMessage(conn, resp); err != nil {
+			return
+		}
+	}
+}
+
+// safeHandle isolates handler panics into error responses so one bad
+// request cannot kill the connection loop silently.
+func safeHandle(h Handler, req *Message) (resp *Message) {
+	defer func() {
+		if r := recover(); r != nil {
+			resp = Errorf(req.Seq, CodeInternal, "panic: %v", r)
+		}
+	}()
+	return h(req)
+}

@@ -1,0 +1,89 @@
+package registry
+
+import (
+	"testing"
+	"time"
+)
+
+func TestPublishDiscoverBind(t *testing.T) {
+	r := New()
+	for _, name := range []string{"node02", "node00", "node01"} {
+		if err := r.Publish(Binding{Service: "vmplant", Name: name, Addr: name + ":7001"}, 0); err != nil {
+			t.Fatal(err)
+		}
+	}
+	got := r.Discover("vmplant")
+	if len(got) != 3 || got[0].Name != "node00" || got[2].Name != "node02" {
+		t.Errorf("Discover = %+v", got)
+	}
+	b, err := r.Bind("vmplant", "node01")
+	if err != nil || b.Addr != "node01:7001" {
+		t.Errorf("Bind = %+v, %v", b, err)
+	}
+	if _, err := r.Bind("vmplant", "node09"); err == nil {
+		t.Error("bind to unknown instance succeeded")
+	}
+	if len(r.Discover("vmshop")) != 0 {
+		t.Error("unknown service discovered")
+	}
+}
+
+func TestPublishValidation(t *testing.T) {
+	r := New()
+	if err := r.Publish(Binding{Service: "", Name: "x"}, 0); err == nil {
+		t.Error("empty service accepted")
+	}
+	if err := r.Publish(Binding{Service: "s", Name: ""}, 0); err == nil {
+		t.Error("empty name accepted")
+	}
+}
+
+func TestLeaseExpiry(t *testing.T) {
+	now := time.Unix(1000, 0)
+	r := New()
+	r.Now = func() time.Time { return now }
+	r.Publish(Binding{Service: "vmplant", Name: "a", Addr: "a:1"}, 10*time.Second)
+	r.Publish(Binding{Service: "vmplant", Name: "b", Addr: "b:1"}, 0) // immortal
+	if len(r.Discover("vmplant")) != 2 {
+		t.Fatal("fresh bindings not visible")
+	}
+	now = now.Add(11 * time.Second)
+	got := r.Discover("vmplant")
+	if len(got) != 1 || got[0].Name != "b" {
+		t.Errorf("after expiry: %+v", got)
+	}
+	if _, err := r.Bind("vmplant", "a"); err == nil {
+		t.Error("expired binding bound")
+	}
+	if n := r.Sweep(); n != 1 {
+		t.Errorf("Sweep removed %d", n)
+	}
+}
+
+func TestRepublishRefreshesLease(t *testing.T) {
+	now := time.Unix(0, 0)
+	r := New()
+	r.Now = func() time.Time { return now }
+	r.Publish(Binding{Service: "s", Name: "n", Addr: "v1"}, 10*time.Second)
+	now = now.Add(8 * time.Second)
+	r.Publish(Binding{Service: "s", Name: "n", Addr: "v2"}, 10*time.Second)
+	now = now.Add(8 * time.Second) // 16s after first publish, 8 after refresh
+	b, err := r.Bind("s", "n")
+	if err != nil || b.Addr != "v2" {
+		t.Errorf("refresh failed: %+v, %v", b, err)
+	}
+}
+
+func TestWithdraw(t *testing.T) {
+	r := New()
+	r.Publish(Binding{Service: "s", Name: "n", Addr: "a"}, 0)
+	if !r.Withdraw("s", "n") {
+		t.Error("withdraw reported false")
+	}
+	if r.Withdraw("s", "n") {
+		t.Error("double withdraw reported true")
+	}
+	if len(r.Discover("s")) != 0 {
+		t.Error("withdrawn binding visible")
+	}
+}

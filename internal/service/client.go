@@ -1,0 +1,93 @@
+package service
+
+import (
+	"fmt"
+	"time"
+
+	"vmplants/internal/classad"
+	"vmplants/internal/core"
+	"vmplants/internal/proto"
+)
+
+// ShopClient is the typed Go client for a VMShop daemon: the
+// counterpart of cmd/vmctl for programs. It wraps one protocol
+// connection and is safe for concurrent use.
+type ShopClient struct {
+	c *proto.Client
+}
+
+// DialShop connects to a VMShop daemon.
+func DialShop(addr string, timeout time.Duration) (*ShopClient, error) {
+	c, err := proto.Dial(addr, timeout)
+	if err != nil {
+		return nil, err
+	}
+	return &ShopClient{c: c}, nil
+}
+
+// Close releases the connection.
+func (sc *ShopClient) Close() error { return sc.c.Close() }
+
+// Create submits a creation request and returns the assigned VMID with
+// the resulting classad.
+func (sc *ShopClient) Create(spec *core.Spec) (core.VMID, *classad.Ad, error) {
+	if err := spec.Validate(); err != nil {
+		return "", nil, err
+	}
+	resp, err := sc.c.Call(&proto.Message{Kind: proto.KindCreateRequest,
+		Create: proto.FromSpec(spec, "")})
+	if err != nil {
+		return "", nil, err
+	}
+	return core.VMID(resp.Created.VMID), resp.Created.Ad, nil
+}
+
+// Query fetches an active VM's classad.
+func (sc *ShopClient) Query(id core.VMID) (*classad.Ad, error) {
+	resp, err := sc.c.Call(&proto.Message{Kind: proto.KindQueryRequest,
+		Query: &proto.QueryRequest{VMID: string(id)}})
+	if err != nil {
+		return nil, err
+	}
+	if !resp.Queried.Found {
+		return nil, fmt.Errorf("service: VM %s not found", id)
+	}
+	return resp.Queried.Ad, nil
+}
+
+// Destroy collects an active VM.
+func (sc *ShopClient) Destroy(id core.VMID) error {
+	resp, err := sc.c.Call(&proto.Message{Kind: proto.KindDestroyRequest,
+		Destroy: &proto.DestroyRequest{VMID: string(id)}})
+	if err != nil {
+		return err
+	}
+	if !resp.Destroyed.Destroyed {
+		return fmt.Errorf("service: VM %s not found", id)
+	}
+	return nil
+}
+
+// Suspend parks an active VM.
+func (sc *ShopClient) Suspend(id core.VMID) error {
+	return sc.lifecycle(id, proto.LifecycleSuspend)
+}
+
+// Resume wakes a suspended VM.
+func (sc *ShopClient) Resume(id core.VMID) error {
+	return sc.lifecycle(id, proto.LifecycleResume)
+}
+
+func (sc *ShopClient) lifecycle(id core.VMID, op string) error {
+	_, err := sc.c.Call(&proto.Message{Kind: proto.KindLifecycleRequest,
+		Lifecycle: &proto.LifecycleRequest{VMID: string(id), Op: op}})
+	return err
+}
+
+// Publish checkpoints an active VM into the warehouse as a new golden
+// image.
+func (sc *ShopClient) Publish(id core.VMID, image string) error {
+	_, err := sc.c.Call(&proto.Message{Kind: proto.KindPublishRequest,
+		Publish: &proto.PublishRequest{VMID: string(id), Image: image}})
+	return err
+}

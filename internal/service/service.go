@@ -1,0 +1,337 @@
+// Package service glues the core library to the wire protocol for the
+// standalone daemons (cmd/vmplantd, cmd/vmshopd): a runner that
+// serializes simulation executions behind network handlers, the
+// plant-side and shop-side proto.Handler implementations, and a
+// shop.PlantHandle that reaches a remote plant over TCP.
+//
+// The daemons expose the genuine VMPlants protocol over real sockets;
+// beneath each daemon the hardware substrate is the same calibrated
+// discrete-event simulation the experiments use, so a "create" returns
+// immediately in wall time while reporting its virtual creation latency
+// in the classad (CreateSecs/CloneSecs).
+package service
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"vmplants/internal/classad"
+	"vmplants/internal/core"
+	"vmplants/internal/plant"
+	"vmplants/internal/proto"
+	"vmplants/internal/registry"
+	"vmplants/internal/shop"
+	"vmplants/internal/sim"
+)
+
+// Runner serializes operations on one simulation kernel so concurrent
+// network requests never run the kernel re-entrantly.
+type Runner struct {
+	mu sync.Mutex
+	k  *sim.Kernel
+}
+
+// NewRunner wraps a kernel.
+func NewRunner(k *sim.Kernel) *Runner { return &Runner{k: k} }
+
+// Do executes fn as a simulation process and drives the kernel to
+// quiescence, under the runner's lock.
+func (r *Runner) Do(name string, fn func(p *sim.Proc)) error {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.k.Spawn(name, fn)
+	res := r.k.Run(0)
+	if len(res.Stranded) != 0 {
+		return fmt.Errorf("service: stranded processes: %v", res.Stranded)
+	}
+	return nil
+}
+
+// Now reports the kernel's virtual time under the lock.
+func (r *Runner) Now() time.Duration {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.k.Now()
+}
+
+// NewPlantHandler returns the proto.Handler serving a plant's four
+// operations (Figure 2: Create, Collect, Query, Estimate cost).
+func NewPlantHandler(r *Runner, pl *plant.Plant) proto.Handler {
+	return func(req *proto.Message) *proto.Message {
+		switch req.Kind {
+		case proto.KindEstimateRequest:
+			spec, err := req.Estimate.Create.Spec()
+			if err != nil {
+				return proto.Errorf(req.Seq, proto.CodeBadRequest, "%v", err)
+			}
+			var c core.Cost
+			if err := r.Do("estimate", func(p *sim.Proc) { c = pl.Estimate(p, spec) }); err != nil {
+				return proto.Errorf(req.Seq, proto.CodeInternal, "%v", err)
+			}
+			return &proto.Message{Kind: proto.KindEstimateResponse,
+				Bid: &proto.EstimateResponse{Plant: pl.Name(), Cost: float64(c), Ad: pl.ResourceAd()}}
+
+		case proto.KindCreateRequest:
+			spec, err := req.Create.Spec()
+			if err != nil {
+				return proto.Errorf(req.Seq, proto.CodeBadRequest, "%v", err)
+			}
+			id := core.VMID(req.Create.VMID)
+			if id == "" {
+				return proto.Errorf(req.Seq, proto.CodeBadRequest, "plant create requires a shop-assigned vmid")
+			}
+			var ad *classad.Ad
+			var cerr error
+			if err := r.Do("create", func(p *sim.Proc) { ad, cerr = pl.Create(p, id, spec) }); err != nil {
+				return proto.Errorf(req.Seq, proto.CodeInternal, "%v", err)
+			}
+			if cerr != nil {
+				return proto.Errorf(req.Seq, proto.CodeNoResources, "%v", cerr)
+			}
+			return &proto.Message{Kind: proto.KindCreateResponse,
+				Created: &proto.CreateResponse{VMID: string(id), Ad: ad}}
+
+		case proto.KindQueryRequest:
+			var ad *classad.Ad
+			var found bool
+			if err := r.Do("query", func(p *sim.Proc) { ad, found = pl.Query(p, core.VMID(req.Query.VMID)) }); err != nil {
+				return proto.Errorf(req.Seq, proto.CodeInternal, "%v", err)
+			}
+			return &proto.Message{Kind: proto.KindQueryResponse,
+				Queried: &proto.QueryResponse{VMID: req.Query.VMID, Found: found, Ad: ad}}
+
+		case proto.KindDestroyRequest:
+			var derr error
+			id := core.VMID(req.Destroy.VMID)
+			if err := r.Do("destroy", func(p *sim.Proc) { derr = pl.Collect(p, id) }); err != nil {
+				return proto.Errorf(req.Seq, proto.CodeInternal, "%v", err)
+			}
+			destroyed := derr == nil
+			return &proto.Message{Kind: proto.KindDestroyResponse,
+				Destroyed: &proto.DestroyResponse{VMID: req.Destroy.VMID, Destroyed: destroyed}}
+
+		case proto.KindPublishRequest:
+			var perr error
+			id := core.VMID(req.Publish.VMID)
+			if err := r.Do("publish", func(p *sim.Proc) { perr = pl.PublishImage(p, id, req.Publish.Image) }); err != nil {
+				return proto.Errorf(req.Seq, proto.CodeInternal, "%v", err)
+			}
+			if perr != nil {
+				return proto.Errorf(req.Seq, proto.CodeNotFound, "%v", perr)
+			}
+			return &proto.Message{Kind: proto.KindPublishResponse,
+				Published: &proto.PublishResponse{VMID: req.Publish.VMID, Image: req.Publish.Image}}
+
+		case proto.KindLifecycleRequest:
+			var lerr error
+			id := core.VMID(req.Lifecycle.VMID)
+			state := "suspended"
+			if err := r.Do("lifecycle", func(p *sim.Proc) {
+				switch req.Lifecycle.Op {
+				case proto.LifecycleSuspend:
+					lerr = pl.SuspendVM(p, id)
+				case proto.LifecycleResume:
+					lerr = pl.ResumeVM(p, id)
+					state = "running"
+				default:
+					lerr = fmt.Errorf("unknown lifecycle op %q", req.Lifecycle.Op)
+				}
+			}); err != nil {
+				return proto.Errorf(req.Seq, proto.CodeInternal, "%v", err)
+			}
+			if lerr != nil {
+				return proto.Errorf(req.Seq, proto.CodeNotFound, "%v", lerr)
+			}
+			return &proto.Message{Kind: proto.KindLifecycleResponse,
+				Lifecycled: &proto.LifecycleResponse{VMID: req.Lifecycle.VMID, State: state}}
+		}
+		return proto.Errorf(req.Seq, proto.CodeBadRequest, "plant does not serve %q", req.Kind)
+	}
+}
+
+// RemotePlant is a shop.PlantHandle reaching a plant daemon over TCP.
+// Each call dials a fresh connection, so a crashed plant surfaces as
+// ErrPlantDown rather than wedging the shop.
+type RemotePlant struct {
+	PlantName string
+	Addr      string
+	Timeout   time.Duration
+}
+
+// Name implements shop.PlantHandle.
+func (rp *RemotePlant) Name() string { return rp.PlantName }
+
+func (rp *RemotePlant) call(m *proto.Message) (*proto.Message, error) {
+	timeout := rp.Timeout
+	if timeout == 0 {
+		timeout = 30 * time.Second
+	}
+	c, err := proto.Dial(rp.Addr, timeout)
+	if err != nil {
+		return nil, fmt.Errorf("%w: %v", shop.ErrPlantDown, err)
+	}
+	defer c.Close()
+	resp, err := c.Call(m)
+	if err != nil {
+		return nil, err
+	}
+	return resp, nil
+}
+
+// Estimate implements shop.PlantHandle.
+func (rp *RemotePlant) Estimate(p *sim.Proc, spec *core.Spec) (core.Cost, *classad.Ad, error) {
+	resp, err := rp.call(&proto.Message{Kind: proto.KindEstimateRequest,
+		Estimate: &proto.EstimateRequest{Create: proto.FromSpec(spec, "")}})
+	if err != nil {
+		return core.Infeasible, nil, err
+	}
+	return core.Cost(resp.Bid.Cost), resp.Bid.Ad, nil
+}
+
+// Create implements shop.PlantHandle.
+func (rp *RemotePlant) Create(p *sim.Proc, id core.VMID, spec *core.Spec) (*classad.Ad, error) {
+	cr := proto.FromSpec(spec, "")
+	cr.VMID = string(id)
+	resp, err := rp.call(&proto.Message{Kind: proto.KindCreateRequest, Create: cr})
+	if err != nil {
+		return nil, err
+	}
+	return resp.Created.Ad, nil
+}
+
+// Query implements shop.PlantHandle.
+func (rp *RemotePlant) Query(p *sim.Proc, id core.VMID) (*classad.Ad, bool, error) {
+	resp, err := rp.call(&proto.Message{Kind: proto.KindQueryRequest,
+		Query: &proto.QueryRequest{VMID: string(id)}})
+	if err != nil {
+		return nil, false, err
+	}
+	return resp.Queried.Ad, resp.Queried.Found, nil
+}
+
+// Collect implements shop.PlantHandle.
+func (rp *RemotePlant) Collect(p *sim.Proc, id core.VMID) (bool, error) {
+	resp, err := rp.call(&proto.Message{Kind: proto.KindDestroyRequest,
+		Destroy: &proto.DestroyRequest{VMID: string(id)}})
+	if err != nil {
+		return false, err
+	}
+	return resp.Destroyed.Destroyed, nil
+}
+
+// Publish implements shop.PlantHandle.
+func (rp *RemotePlant) Publish(p *sim.Proc, id core.VMID, image string) error {
+	_, err := rp.call(&proto.Message{Kind: proto.KindPublishRequest,
+		Publish: &proto.PublishRequest{VMID: string(id), Image: image}})
+	return err
+}
+
+// Lifecycle implements shop.PlantHandle.
+func (rp *RemotePlant) Lifecycle(p *sim.Proc, id core.VMID, op string) error {
+	_, err := rp.call(&proto.Message{Kind: proto.KindLifecycleRequest,
+		Lifecycle: &proto.LifecycleRequest{VMID: string(id), Op: op}})
+	return err
+}
+
+// PublishPlant announces a plant daemon in the service registry
+// (Figure 1's "Publish" arrow), so shops can discover it instead of
+// being configured with a static list.
+func PublishPlant(reg *registry.Registry, name, addr string, ttl time.Duration) error {
+	return reg.Publish(registry.Binding{Service: "vmplant", Name: name, Addr: addr}, ttl)
+}
+
+// DiscoverPlants resolves every live vmplant binding in the registry to
+// a remote handle (Figure 1's "Discover"/"Bind" arrows).
+func DiscoverPlants(reg *registry.Registry, timeout time.Duration) []shop.PlantHandle {
+	var out []shop.PlantHandle
+	for _, b := range reg.Discover("vmplant") {
+		out = append(out, &RemotePlant{PlantName: b.Name, Addr: b.Addr, Timeout: timeout})
+	}
+	return out
+}
+
+// NewShopHandler returns the proto.Handler serving clients through a
+// shop (create without vmid, query, destroy, publish).
+func NewShopHandler(r *Runner, s *shop.Shop) proto.Handler {
+	return func(req *proto.Message) *proto.Message {
+		switch req.Kind {
+		case proto.KindCreateRequest:
+			spec, err := req.Create.Spec()
+			if err != nil {
+				return proto.Errorf(req.Seq, proto.CodeBadRequest, "%v", err)
+			}
+			var id core.VMID
+			var ad *classad.Ad
+			var cerr error
+			if err := r.Do("shop-create", func(p *sim.Proc) { id, ad, cerr = s.Create(p, spec) }); err != nil {
+				return proto.Errorf(req.Seq, proto.CodeInternal, "%v", err)
+			}
+			if cerr != nil {
+				return proto.Errorf(req.Seq, proto.CodeNoResources, "%v", cerr)
+			}
+			return &proto.Message{Kind: proto.KindCreateResponse,
+				Created: &proto.CreateResponse{VMID: string(id), Ad: ad}}
+
+		case proto.KindQueryRequest:
+			var ad *classad.Ad
+			var qerr error
+			if err := r.Do("shop-query", func(p *sim.Proc) { ad, qerr = s.Query(p, core.VMID(req.Query.VMID)) }); err != nil {
+				return proto.Errorf(req.Seq, proto.CodeInternal, "%v", err)
+			}
+			if qerr != nil {
+				return proto.Errorf(req.Seq, proto.CodeNotFound, "%v", qerr)
+			}
+			return &proto.Message{Kind: proto.KindQueryResponse,
+				Queried: &proto.QueryResponse{VMID: req.Query.VMID, Found: true, Ad: ad}}
+
+		case proto.KindDestroyRequest:
+			var derr error
+			if err := r.Do("shop-destroy", func(p *sim.Proc) { derr = s.Destroy(p, core.VMID(req.Destroy.VMID)) }); err != nil {
+				return proto.Errorf(req.Seq, proto.CodeInternal, "%v", err)
+			}
+			if derr != nil {
+				return proto.Errorf(req.Seq, proto.CodeNotFound, "%v", derr)
+			}
+			return &proto.Message{Kind: proto.KindDestroyResponse,
+				Destroyed: &proto.DestroyResponse{VMID: req.Destroy.VMID, Destroyed: true}}
+
+		case proto.KindPublishRequest:
+			var perr error
+			if err := r.Do("shop-publish", func(p *sim.Proc) {
+				perr = s.Publish(p, core.VMID(req.Publish.VMID), req.Publish.Image)
+			}); err != nil {
+				return proto.Errorf(req.Seq, proto.CodeInternal, "%v", err)
+			}
+			if perr != nil {
+				return proto.Errorf(req.Seq, proto.CodeNotFound, "%v", perr)
+			}
+			return &proto.Message{Kind: proto.KindPublishResponse,
+				Published: &proto.PublishResponse{VMID: req.Publish.VMID, Image: req.Publish.Image}}
+
+		case proto.KindLifecycleRequest:
+			var lerr error
+			id := core.VMID(req.Lifecycle.VMID)
+			state := "suspended"
+			if err := r.Do("shop-lifecycle", func(p *sim.Proc) {
+				switch req.Lifecycle.Op {
+				case proto.LifecycleSuspend:
+					lerr = s.Suspend(p, id)
+				case proto.LifecycleResume:
+					lerr = s.Resume(p, id)
+					state = "running"
+				default:
+					lerr = fmt.Errorf("unknown lifecycle op %q", req.Lifecycle.Op)
+				}
+			}); err != nil {
+				return proto.Errorf(req.Seq, proto.CodeInternal, "%v", err)
+			}
+			if lerr != nil {
+				return proto.Errorf(req.Seq, proto.CodeNotFound, "%v", lerr)
+			}
+			return &proto.Message{Kind: proto.KindLifecycleResponse,
+				Lifecycled: &proto.LifecycleResponse{VMID: req.Lifecycle.VMID, State: state}}
+		}
+		return proto.Errorf(req.Seq, proto.CodeBadRequest, "shop does not serve %q", req.Kind)
+	}
+}

@@ -1,0 +1,332 @@
+package service
+
+import (
+	"net"
+	"strings"
+	"testing"
+	"time"
+
+	"vmplants/internal/actions"
+	"vmplants/internal/cluster"
+	"vmplants/internal/core"
+	"vmplants/internal/dag"
+	"vmplants/internal/plant"
+	"vmplants/internal/proto"
+	"vmplants/internal/registry"
+	"vmplants/internal/shop"
+	"vmplants/internal/sim"
+	"vmplants/internal/warehouse"
+)
+
+func act(op string, kv ...string) dag.Action {
+	p := map[string]string{}
+	for i := 0; i+1 < len(kv); i += 2 {
+		p[kv[i]] = kv[i+1]
+	}
+	tgt, _ := actions.DefaultTarget(op)
+	return dag.Action{Op: op, Target: tgt, Params: p}
+}
+
+// startPlantDaemon spins up one plant daemon on a loopback listener.
+func startPlantDaemon(t *testing.T, name string, seed int64) (addr string) {
+	t.Helper()
+	k := sim.NewKernel()
+	tb := cluster.NewTestbed(k, 1, cluster.DefaultParams(), seed)
+	wh := warehouse.New(tb.Warehouse)
+	im, err := warehouse.BuildGolden("base",
+		core.HardwareSpec{Arch: "x86", MemoryMB: 64, DiskMB: 2048},
+		warehouse.BackendVMware,
+		[]dag.Action{act(actions.OpInstallOS, "distro", "redhat-8.0")})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := wh.Publish(im); err != nil {
+		t.Fatal(err)
+	}
+	pl := plant.New(name, tb.Nodes[0], wh, plant.Config{MaxVMs: 8})
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { l.Close() })
+	go proto.Serve(l, NewPlantHandler(NewRunner(k), pl))
+	return l.Addr().String()
+}
+
+// startShopDaemon spins up a shop daemon over the given plant daemons.
+func startShopDaemon(t *testing.T, plantAddrs map[string]string) (addr string) {
+	t.Helper()
+	var handles []shop.PlantHandle
+	for name, a := range plantAddrs {
+		handles = append(handles, &RemotePlant{PlantName: name, Addr: a, Timeout: 5 * time.Second})
+	}
+	s := shop.New("shop", handles, 7)
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { l.Close() })
+	go proto.Serve(l, NewShopHandler(NewRunner(sim.NewKernel()), s))
+	return l.Addr().String()
+}
+
+func requestGraph(t *testing.T) *dag.Graph {
+	t.Helper()
+	g, err := dag.NewBuilder().
+		Add("os", act(actions.OpInstallOS, "distro", "redhat-8.0")).
+		Add("user", act(actions.OpCreateUser, "name", "ivan"), "os").
+		Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return g
+}
+
+func createReq(t *testing.T) *proto.CreateRequest {
+	return &proto.CreateRequest{
+		Name:     "itest",
+		Arch:     "x86",
+		MemoryMB: 64,
+		DiskMB:   2048,
+		Domain:   "example.edu",
+		Graph:    requestGraph(t),
+	}
+}
+
+func TestFullStackOverTCP(t *testing.T) {
+	plants := map[string]string{
+		"plantA": startPlantDaemon(t, "plantA", 1),
+		"plantB": startPlantDaemon(t, "plantB", 2),
+	}
+	shopAddr := startShopDaemon(t, plants)
+
+	c, err := proto.Dial(shopAddr, 5*time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+
+	// Create.
+	resp, err := c.Call(&proto.Message{Kind: proto.KindCreateRequest, Create: createReq(t)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	id := resp.Created.VMID
+	if !strings.HasPrefix(id, "vm-shop-") {
+		t.Fatalf("VMID = %q", id)
+	}
+	ad := resp.Created.Ad
+	if ad.GetString(core.AttrState, "") != "running" {
+		t.Errorf("state = %q", ad.GetString(core.AttrState, ""))
+	}
+	if ad.GetReal(core.AttrCloneSecs, 0) <= 0 {
+		t.Error("classad lost clone latency")
+	}
+
+	// Query.
+	q, err := c.Call(&proto.Message{Kind: proto.KindQueryRequest, Query: &proto.QueryRequest{VMID: id}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !q.Queried.Found || q.Queried.Ad.GetString(core.AttrName, "") != "itest" {
+		t.Errorf("query = %+v", q.Queried)
+	}
+
+	// Destroy, then the VM is gone.
+	d, err := c.Call(&proto.Message{Kind: proto.KindDestroyRequest, Destroy: &proto.DestroyRequest{VMID: id}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !d.Destroyed.Destroyed {
+		t.Error("destroy reported false")
+	}
+	if _, err := c.Call(&proto.Message{Kind: proto.KindQueryRequest, Query: &proto.QueryRequest{VMID: id}}); err == nil {
+		t.Error("query after destroy succeeded")
+	}
+}
+
+func TestShopSurvivesPlantCrash(t *testing.T) {
+	// One live plant plus one address nobody listens on.
+	plants := map[string]string{
+		"alive": startPlantDaemon(t, "alive", 3),
+		"dead":  "127.0.0.1:1", // nothing listens here
+	}
+	var handles []shop.PlantHandle
+	for name, a := range plants {
+		handles = append(handles, &RemotePlant{PlantName: name, Addr: a, Timeout: time.Second})
+	}
+	s := shop.New("shop", handles, 7)
+	r := NewRunner(sim.NewKernel())
+
+	spec, err := createReq(t).Spec()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var id core.VMID
+	var cerr error
+	if err := r.Do("create", func(p *sim.Proc) { id, _, cerr = s.Create(p, spec) }); err != nil {
+		t.Fatal(err)
+	}
+	if cerr != nil {
+		t.Fatalf("create with one dead plant: %v", cerr)
+	}
+	if id == "" {
+		t.Fatal("no VMID")
+	}
+}
+
+func TestPlantHandlerRejectsBadRequests(t *testing.T) {
+	addr := startPlantDaemon(t, "p", 4)
+	c, err := proto.Dial(addr, 5*time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+
+	// Create without a shop-assigned VMID.
+	if _, err := c.Call(&proto.Message{Kind: proto.KindCreateRequest, Create: createReq(t)}); err == nil {
+		t.Error("plant accepted create without vmid")
+	}
+	// Invalid spec.
+	bad := createReq(t)
+	bad.VMID = "vm-x-1"
+	bad.MemoryMB = 0
+	if _, err := c.Call(&proto.Message{Kind: proto.KindCreateRequest, Create: bad}); err == nil {
+		t.Error("plant accepted invalid spec")
+	}
+	// Wrong service.
+	if _, err := c.Call(&proto.Message{Kind: proto.KindEstimateResponse, Bid: &proto.EstimateResponse{}}); err == nil {
+		t.Error("plant served a response kind")
+	}
+}
+
+func TestEstimateOverTCP(t *testing.T) {
+	addr := startPlantDaemon(t, "p", 5)
+	rp := &RemotePlant{PlantName: "p", Addr: addr, Timeout: 5 * time.Second}
+	r := NewRunner(sim.NewKernel())
+	spec, err := createReq(t).Spec()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var c core.Cost
+	var eerr error
+	if err := r.Do("est", func(p *sim.Proc) { c, _, eerr = rp.Estimate(p, spec) }); err != nil {
+		t.Fatal(err)
+	}
+	if eerr != nil || !c.OK() {
+		t.Errorf("estimate = %v, %v", c, eerr)
+	}
+}
+
+func TestDiscoverPlantsFromRegistry(t *testing.T) {
+	reg := registry.New()
+	addrA := startPlantDaemon(t, "regA", 31)
+	addrB := startPlantDaemon(t, "regB", 32)
+	if err := PublishPlant(reg, "regA", addrA, 0); err != nil {
+		t.Fatal(err)
+	}
+	if err := PublishPlant(reg, "regB", addrB, 0); err != nil {
+		t.Fatal(err)
+	}
+	handles := DiscoverPlants(reg, 5*time.Second)
+	if len(handles) != 2 {
+		t.Fatalf("discovered %d plants", len(handles))
+	}
+	s := shop.New("shop", handles, 7)
+	r := NewRunner(sim.NewKernel())
+	spec, err := createReq(t).Spec()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var cerr error
+	if err := r.Do("create", func(p *sim.Proc) { _, _, cerr = s.Create(p, spec) }); err != nil {
+		t.Fatal(err)
+	}
+	if cerr != nil {
+		t.Fatalf("create through discovered plants: %v", cerr)
+	}
+}
+
+func TestLifecycleOverTCP(t *testing.T) {
+	plants := map[string]string{"p": startPlantDaemon(t, "p", 41)}
+	shopAddr := startShopDaemon(t, plants)
+	c, err := proto.Dial(shopAddr, 5*time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	resp, err := c.Call(&proto.Message{Kind: proto.KindCreateRequest, Create: createReq(t)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	id := resp.Created.VMID
+	sus, err := c.Call(&proto.Message{Kind: proto.KindLifecycleRequest,
+		Lifecycle: &proto.LifecycleRequest{VMID: id, Op: proto.LifecycleSuspend}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sus.Lifecycled.State != "suspended" {
+		t.Errorf("state = %q", sus.Lifecycled.State)
+	}
+	res, err := c.Call(&proto.Message{Kind: proto.KindLifecycleRequest,
+		Lifecycle: &proto.LifecycleRequest{VMID: id, Op: proto.LifecycleResume}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Lifecycled.State != "running" {
+		t.Errorf("state = %q", res.Lifecycled.State)
+	}
+	if _, err := c.Call(&proto.Message{Kind: proto.KindLifecycleRequest,
+		Lifecycle: &proto.LifecycleRequest{VMID: id, Op: "defenestrate"}}); err == nil {
+		t.Error("unknown lifecycle op accepted")
+	}
+}
+
+func TestShopClientFullLifecycle(t *testing.T) {
+	plants := map[string]string{"p": startPlantDaemon(t, "p", 51)}
+	shopAddr := startShopDaemon(t, plants)
+	sc, err := DialShop(shopAddr, 5*time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sc.Close()
+
+	spec, err := createReq(t).Spec()
+	if err != nil {
+		t.Fatal(err)
+	}
+	id, ad, err := sc.Create(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ad.GetString(core.AttrState, "") != "running" {
+		t.Errorf("state = %q", ad.GetString(core.AttrState, ""))
+	}
+	if _, err := sc.Query(id); err != nil {
+		t.Fatal(err)
+	}
+	if err := sc.Suspend(id); err != nil {
+		t.Fatal(err)
+	}
+	if err := sc.Resume(id); err != nil {
+		t.Fatal(err)
+	}
+	if err := sc.Publish(id, "client-published"); err != nil {
+		t.Fatal(err)
+	}
+	if err := sc.Destroy(id); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := sc.Query(id); err == nil {
+		t.Error("query after destroy succeeded")
+	}
+	if err := sc.Destroy(id); err == nil {
+		t.Error("double destroy succeeded")
+	}
+	// Invalid spec rejected client-side.
+	bad := *spec
+	bad.Domain = ""
+	if _, _, err := sc.Create(&bad); err == nil {
+		t.Error("invalid spec accepted")
+	}
+}

@@ -1,0 +1,131 @@
+package shop
+
+import (
+	"fmt"
+
+	"vmplants/internal/classad"
+	"vmplants/internal/core"
+	"vmplants/internal/sim"
+)
+
+// Broker is a VMBroker (paper §3.1: the shop collects bids from plants
+// "directly, or indirectly through VMBrokers"): it fronts a group of
+// plants — typically a site or sub-cluster — behind the PlantHandle
+// interface. Its bid is the best bid among its plants; a creation order
+// is forwarded to whichever of them produced it, and queries and
+// collections fan out to the plant holding the VM.
+type Broker struct {
+	name   string
+	plants []PlantHandle
+	routes map[core.VMID]PlantHandle
+}
+
+// NewBroker fronts the given plants.
+func NewBroker(name string, plants []PlantHandle) *Broker {
+	return &Broker{name: name, plants: plants, routes: make(map[core.VMID]PlantHandle)}
+}
+
+// Name implements PlantHandle.
+func (b *Broker) Name() string { return b.name }
+
+// Plants returns the fronted handles.
+func (b *Broker) Plants() []PlantHandle { return append([]PlantHandle(nil), b.plants...) }
+
+// bestBid collects the fronted plants' bids and returns the cheapest
+// feasible one with its plant and resource ad.
+func (b *Broker) bestBid(p *sim.Proc, spec *core.Spec) (PlantHandle, core.Cost, *classad.Ad) {
+	var winner PlantHandle
+	var winnerAd *classad.Ad
+	best := core.Infeasible
+	for _, h := range b.plants {
+		c, ad, err := h.Estimate(p, spec)
+		if err != nil || !c.OK() {
+			continue
+		}
+		if winner == nil || c < best {
+			winner, best, winnerAd = h, c, ad
+		}
+	}
+	return winner, best, winnerAd
+}
+
+// Estimate implements PlantHandle: the broker's bid is its best
+// internal bid, carrying the winning plant's resource ad.
+func (b *Broker) Estimate(p *sim.Proc, spec *core.Spec) (core.Cost, *classad.Ad, error) {
+	winner, best, ad := b.bestBid(p, spec)
+	if winner == nil {
+		return core.Infeasible, nil, nil
+	}
+	return best, ad, nil
+}
+
+// Create implements PlantHandle: the order goes to the current best
+// internal bidder (bids are re-collected, since load may have moved
+// between the shop's estimate round and the order).
+func (b *Broker) Create(p *sim.Proc, id core.VMID, spec *core.Spec) (*classad.Ad, error) {
+	winner, _, _ := b.bestBid(p, spec)
+	if winner == nil {
+		return nil, fmt.Errorf("broker %s: no feasible plant", b.name)
+	}
+	ad, err := winner.Create(p, id, spec)
+	if err != nil {
+		return nil, err
+	}
+	b.routes[id] = winner
+	return ad, nil
+}
+
+// resolve finds the plant holding id, checking the broker's route cache
+// and falling back to a sweep.
+func (b *Broker) resolve(p *sim.Proc, id core.VMID) (PlantHandle, bool) {
+	if h, ok := b.routes[id]; ok {
+		return h, true
+	}
+	for _, h := range b.plants {
+		if _, found, err := h.Query(p, id); err == nil && found {
+			b.routes[id] = h
+			return h, true
+		}
+	}
+	return nil, false
+}
+
+// Query implements PlantHandle.
+func (b *Broker) Query(p *sim.Proc, id core.VMID) (*classad.Ad, bool, error) {
+	h, ok := b.resolve(p, id)
+	if !ok {
+		return nil, false, nil
+	}
+	return h.Query(p, id)
+}
+
+// Collect implements PlantHandle.
+func (b *Broker) Collect(p *sim.Proc, id core.VMID) (bool, error) {
+	h, ok := b.resolve(p, id)
+	if !ok {
+		return false, nil
+	}
+	found, err := h.Collect(p, id)
+	if err == nil {
+		delete(b.routes, id)
+	}
+	return found, err
+}
+
+// Publish implements PlantHandle.
+func (b *Broker) Publish(p *sim.Proc, id core.VMID, image string) error {
+	h, ok := b.resolve(p, id)
+	if !ok {
+		return fmt.Errorf("broker %s: no plant holds VM %s", b.name, id)
+	}
+	return h.Publish(p, id, image)
+}
+
+// Lifecycle implements PlantHandle.
+func (b *Broker) Lifecycle(p *sim.Proc, id core.VMID, op string) error {
+	h, ok := b.resolve(p, id)
+	if !ok {
+		return fmt.Errorf("broker %s: no plant holds VM %s", b.name, id)
+	}
+	return h.Lifecycle(p, id, op)
+}

@@ -1,0 +1,134 @@
+package shop
+
+import (
+	"testing"
+
+	"vmplants/internal/cluster"
+	"vmplants/internal/core"
+	"vmplants/internal/cost"
+	"vmplants/internal/dag"
+	"vmplants/internal/plant"
+	"vmplants/internal/sim"
+	"vmplants/internal/warehouse"
+)
+
+// brokeredDeployment builds a shop over two brokers, each fronting two
+// plants (four nodes total).
+func brokeredDeployment(t *testing.T) (*sim.Kernel, *Shop, []*LocalHandle) {
+	t.Helper()
+	k := sim.NewKernel()
+	tb := cluster.NewTestbed(k, 4, cluster.DefaultParams(), 21)
+	wh := warehouse.New(tb.Warehouse)
+	im, err := warehouse.BuildGolden("ws-golden",
+		core.HardwareSpec{Arch: "x86", MemoryMB: 64, DiskMB: 2048},
+		warehouse.BackendVMware,
+		goldenHistory())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := wh.Publish(im); err != nil {
+		t.Fatal(err)
+	}
+	var locals []*LocalHandle
+	mk := func(node int) PlantHandle {
+		model, _ := cost.ByName("free-memory")
+		pl := plant.New(tb.Nodes[node].Name(), tb.Nodes[node], wh, plant.Config{MaxVMs: 4, CostModel: model})
+		h := NewLocalHandle(pl)
+		locals = append(locals, h)
+		return h
+	}
+	siteA := NewBroker("site-a", []PlantHandle{mk(0), mk(1)})
+	siteB := NewBroker("site-b", []PlantHandle{mk(2), mk(3)})
+	return k, New("shop", []PlantHandle{siteA, siteB}, 99), locals
+}
+
+func goldenHistory() []dag.Action {
+	return []dag.Action{
+		act("install-os", "distro", "mandrake-8.1"),
+		act("install-package", "name", "vnc-server"),
+	}
+}
+
+func TestShopThroughBrokers(t *testing.T) {
+	k, s, _ := brokeredDeployment(t)
+	var id core.VMID
+	k.Spawn("client", func(p *sim.Proc) {
+		var err error
+		id, _, err = s.Create(p, wsSpec(t, "u1", "ufl.edu"))
+		if err != nil {
+			t.Errorf("create: %v", err)
+			return
+		}
+		// Query and destroy route through the broker's resolution.
+		ad, err := s.Query(p, id)
+		if err != nil || ad.GetString(core.AttrVMID, "") != string(id) {
+			t.Errorf("query: %v, %v", ad, err)
+		}
+		if err := s.Destroy(p, id); err != nil {
+			t.Errorf("destroy: %v", err)
+		}
+	})
+	if res := k.Run(0); len(res.Stranded) != 0 {
+		t.Fatalf("stranded: %v", res.Stranded)
+	}
+}
+
+func TestBrokerSpreadsLoadInternally(t *testing.T) {
+	k, s, locals := brokeredDeployment(t)
+	k.Spawn("client", func(p *sim.Proc) {
+		for i := 0; i < 8; i++ {
+			if _, _, err := s.Create(p, wsSpec(t, "u"+string(rune('a'+i)), "ufl.edu")); err != nil {
+				t.Errorf("create %d: %v", i, err)
+				return
+			}
+		}
+		// 8 VMs across 4 plants of capacity 4: with memory-based
+		// bidding inside each broker, every plant hosts some.
+		for _, h := range locals {
+			if h.Plant.ActiveVMs() == 0 {
+				t.Errorf("plant %s got no VMs", h.Name())
+			}
+		}
+	})
+	if res := k.Run(0); len(res.Stranded) != 0 {
+		t.Fatalf("stranded: %v", res.Stranded)
+	}
+}
+
+func TestBrokerCapacityExhaustion(t *testing.T) {
+	k, s, _ := brokeredDeployment(t)
+	k.Spawn("client", func(p *sim.Proc) {
+		for i := 0; i < 16; i++ { // exactly the fleet capacity
+			if _, _, err := s.Create(p, wsSpec(t, "u"+string(rune('a'+i)), "ufl.edu")); err != nil {
+				t.Errorf("create %d: %v", i, err)
+				return
+			}
+		}
+		if _, _, err := s.Create(p, wsSpec(t, "uz", "ufl.edu")); err == nil {
+			t.Error("create beyond fleet capacity succeeded")
+		}
+	})
+	if res := k.Run(0); len(res.Stranded) != 0 {
+		t.Fatalf("stranded: %v", res.Stranded)
+	}
+}
+
+func TestBrokerPublishRoutes(t *testing.T) {
+	k, s, _ := brokeredDeployment(t)
+	k.Spawn("client", func(p *sim.Proc) {
+		id, _, err := s.Create(p, wsSpec(t, "u1", "ufl.edu"))
+		if err != nil {
+			t.Errorf("create: %v", err)
+			return
+		}
+		if err := s.Publish(p, id, "published-via-broker"); err != nil {
+			t.Errorf("publish: %v", err)
+		}
+		if err := s.Publish(p, "vm-ghost-1", "x"); err == nil {
+			t.Error("publish of unknown VM succeeded")
+		}
+	})
+	if res := k.Run(0); len(res.Stranded) != 0 {
+		t.Fatalf("stranded: %v", res.Stranded)
+	}
+}

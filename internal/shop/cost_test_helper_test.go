@@ -1,0 +1,6 @@
+package shop
+
+import "vmplants/internal/cost"
+
+// costModel resolves a model name for tests.
+func costModel(name string) (cost.Model, error) { return cost.ByName(name) }

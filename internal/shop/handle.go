@@ -1,0 +1,132 @@
+package shop
+
+import (
+	"errors"
+	"fmt"
+
+	"vmplants/internal/proto"
+
+	"vmplants/internal/classad"
+	"vmplants/internal/core"
+	"vmplants/internal/plant"
+	"vmplants/internal/sim"
+)
+
+// PlantHandle is the shop's view of one plant: the four operations of
+// the shop↔plant binding protocol (Figure 2: Create, Collect, Query,
+// Estimate cost). Implementations exist for in-process plants under the
+// simulation kernel and for remote plants over TCP (cmd/vmshopd).
+type PlantHandle interface {
+	// Name identifies the plant.
+	Name() string
+	// Estimate returns the plant's bid and its resource classad, or an
+	// error if unreachable.
+	Estimate(p *sim.Proc, spec *core.Spec) (core.Cost, *classad.Ad, error)
+	// Create builds a VM under the given shop-assigned ID.
+	Create(p *sim.Proc, id core.VMID, spec *core.Spec) (*classad.Ad, error)
+	// Query fetches an active VM's classad; found=false when unknown.
+	Query(p *sim.Proc, id core.VMID) (ad *classad.Ad, found bool, err error)
+	// Collect destroys an active VM; found=false when unknown.
+	Collect(p *sim.Proc, id core.VMID) (found bool, err error)
+	// Publish checkpoints an active VM into the warehouse as a new
+	// golden image.
+	Publish(p *sim.Proc, id core.VMID, image string) error
+	// Lifecycle suspends or resumes an active VM (op is
+	// proto.LifecycleSuspend or proto.LifecycleResume).
+	Lifecycle(p *sim.Proc, id core.VMID, op string) error
+}
+
+// ErrPlantDown marks an unreachable plant.
+var ErrPlantDown = errors.New("shop: plant unreachable")
+
+// LocalHandle adapts an in-process *plant.Plant, charging a per-message
+// network latency so that bid collection and service calls cost virtual
+// time like their on-the-wire equivalents.
+type LocalHandle struct {
+	Plant *plant.Plant
+	// MsgLatency is the one-way control-message latency (switched
+	// 100 Mbit/s Ethernet: sub-millisecond transfer plus protocol
+	// stack). Both directions are charged.
+	MsgLatency float64 // seconds
+	// Down simulates a crashed plant: every call errors.
+	Down bool
+}
+
+// NewLocalHandle wraps a plant with the default control latency.
+func NewLocalHandle(pl *plant.Plant) *LocalHandle {
+	return &LocalHandle{Plant: pl, MsgLatency: 0.004}
+}
+
+// Name implements PlantHandle.
+func (h *LocalHandle) Name() string { return h.Plant.Name() }
+
+func (h *LocalHandle) roundTrip(p *sim.Proc) error {
+	if h.Down {
+		return fmt.Errorf("%w: %s", ErrPlantDown, h.Plant.Name())
+	}
+	p.Sleep(sim.Seconds(2 * h.MsgLatency))
+	return nil
+}
+
+// Estimate implements PlantHandle.
+func (h *LocalHandle) Estimate(p *sim.Proc, spec *core.Spec) (core.Cost, *classad.Ad, error) {
+	if err := h.roundTrip(p); err != nil {
+		return core.Infeasible, nil, err
+	}
+	return h.Plant.Estimate(p, spec), h.Plant.ResourceAd(), nil
+}
+
+// Create implements PlantHandle.
+func (h *LocalHandle) Create(p *sim.Proc, id core.VMID, spec *core.Spec) (*classad.Ad, error) {
+	if err := h.roundTrip(p); err != nil {
+		return nil, err
+	}
+	return h.Plant.Create(p, id, spec)
+}
+
+// Query implements PlantHandle.
+func (h *LocalHandle) Query(p *sim.Proc, id core.VMID) (*classad.Ad, bool, error) {
+	if err := h.roundTrip(p); err != nil {
+		return nil, false, err
+	}
+	ad, ok := h.Plant.Query(p, id)
+	return ad, ok, nil
+}
+
+// Collect implements PlantHandle.
+func (h *LocalHandle) Collect(p *sim.Proc, id core.VMID) (bool, error) {
+	if err := h.roundTrip(p); err != nil {
+		return false, err
+	}
+	if err := h.Plant.Collect(p, id); err != nil {
+		// Distinguish "unknown VM" from plant-internal failures: the
+		// shop treats unknown as found=false for routing recovery.
+		if _, ok := h.Plant.VM(id); !ok {
+			return false, nil
+		}
+		return true, err
+	}
+	return true, nil
+}
+
+// Publish implements PlantHandle.
+func (h *LocalHandle) Publish(p *sim.Proc, id core.VMID, image string) error {
+	if err := h.roundTrip(p); err != nil {
+		return err
+	}
+	return h.Plant.PublishImage(p, id, image)
+}
+
+// Lifecycle implements PlantHandle.
+func (h *LocalHandle) Lifecycle(p *sim.Proc, id core.VMID, op string) error {
+	if err := h.roundTrip(p); err != nil {
+		return err
+	}
+	switch op {
+	case proto.LifecycleSuspend:
+		return h.Plant.SuspendVM(p, id)
+	case proto.LifecycleResume:
+		return h.Plant.ResumeVM(p, id)
+	}
+	return fmt.Errorf("shop: unknown lifecycle op %q", op)
+}

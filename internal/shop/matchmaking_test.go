@@ -1,0 +1,96 @@
+package shop
+
+import (
+	"testing"
+
+	"vmplants/internal/classad"
+	"vmplants/internal/core"
+	"vmplants/internal/plant"
+	"vmplants/internal/sim"
+)
+
+func TestRequestRequirementsFilterPlants(t *testing.T) {
+	d := newDeployment(t, 3, plant.Config{MaxVMs: 32})
+	// Name one plant in the request's Requirements; only it may win.
+	want := d.handles[2].Name()
+	d.run(t, func(p *sim.Proc) {
+		s := wsSpec(t, "u1", "ufl.edu")
+		s.Requirements = `TARGET.Plant == "` + want + `"`
+		_, ad, err := d.shop.Create(p, s)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got := ad.GetString(core.AttrPlant, ""); got != want {
+			t.Errorf("created on %q, want %q", got, want)
+		}
+		// Unsatisfiable Requirements: no plant matches.
+		s2 := wsSpec(t, "u2", "ufl.edu")
+		s2.Requirements = `TARGET.FreeMemoryMB > 1000000`
+		if _, _, err := d.shop.Create(p, s2); err == nil {
+			t.Error("unsatisfiable Requirements still created a VM")
+		}
+	})
+}
+
+func TestMalformedRequirementsRejected(t *testing.T) {
+	d := newDeployment(t, 1, plant.Config{})
+	d.run(t, func(p *sim.Proc) {
+		s := wsSpec(t, "u1", "ufl.edu")
+		s.Requirements = `TARGET.X >`
+		if _, _, err := d.shop.Create(p, s); err == nil {
+			t.Error("malformed Requirements accepted")
+		}
+	})
+}
+
+func TestPlantPolicyAdRefusesDomains(t *testing.T) {
+	// Plant 0 refuses the banned domain via its policy ad; plant 1
+	// accepts everything. Banned-domain requests must all land on 1.
+	policy := classad.New()
+	if err := policy.SetExprString("Requirements", `TARGET.Domain != "banned.example"`); err != nil {
+		t.Fatal(err)
+	}
+	d := newDeployment(t, 2, plant.Config{MaxVMs: 32})
+	d.handles[0].Plant = plantWithPolicy(t, d, 0, policy)
+	d.run(t, func(p *sim.Proc) {
+		for i := 0; i < 3; i++ {
+			s := wsSpec(t, "u"+string(rune('a'+i)), "banned.example")
+			_, ad, err := d.shop.Create(p, s)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if got := ad.GetString(core.AttrPlant, ""); got == d.handles[0].Name() {
+				t.Errorf("banned domain landed on the refusing plant")
+			}
+		}
+		// An allowed domain can still use plant 0.
+		okSpec := wsSpec(t, "ok", "ufl.edu")
+		okSpec.Requirements = `TARGET.Plant == "` + d.handles[0].Name() + `"`
+		if _, _, err := d.shop.Create(p, okSpec); err != nil {
+			t.Errorf("allowed domain refused: %v", err)
+		}
+	})
+}
+
+// plantWithPolicy rebuilds deployment plant i with a policy ad.
+func plantWithPolicy(t *testing.T, d *deployment, i int, policy *classad.Ad) *plant.Plant {
+	t.Helper()
+	old := d.plants[i]
+	pl := plant.New(old.Name(), old.Node(), d.wh, plant.Config{MaxVMs: 32, PolicyAd: policy})
+	d.plants[i] = pl
+	return pl
+}
+
+func TestResourceAdShape(t *testing.T) {
+	d := newDeployment(t, 1, plant.Config{MaxVMs: 8})
+	ad := d.plants[0].ResourceAd()
+	if ad.GetString("Plant", "") != d.plants[0].Name() {
+		t.Errorf("ad = %s", ad)
+	}
+	if ad.GetInt("FreeMemoryMB", -1) <= 0 || ad.GetInt("MaxVMs", -1) != 8 {
+		t.Errorf("ad = %s", ad)
+	}
+	if imgs := ad.GetStrings("GoldenImages"); len(imgs) != 1 {
+		t.Errorf("GoldenImages = %v", imgs)
+	}
+}

@@ -1,0 +1,300 @@
+// Package shop implements the VMShop service (paper §3.1): the single
+// logical point of contact where clients create, query and destroy
+// virtual machines. The shop discovers plants, collects cost bids for
+// each creation request, selects the cheapest plant (random among
+// ties, as in the paper's walk-through), and routes queries and
+// collections to the plant hosting each VM.
+//
+// Per the paper, an active VM's classad "is not part of the state that
+// needs to be maintained by VMShop"; the shop keeps only a soft routing
+// cache and can rebuild it by querying plants, which Recover exercises.
+package shop
+
+import (
+	"errors"
+	"fmt"
+
+	"vmplants/internal/classad"
+	"vmplants/internal/core"
+	"vmplants/internal/proto"
+	"vmplants/internal/sim"
+)
+
+// Shop is one VMShop instance.
+type Shop struct {
+	name   string
+	plants []PlantHandle
+	rng    *sim.RNG
+
+	nextID uint64
+	routes map[core.VMID]PlantHandle // soft state
+	cache  map[core.VMID]*classad.Ad // optional classad cache (speeds queries)
+
+	// CacheAds enables classad caching (paper: "VMShop may, however,
+	// cache classad information … to speed up queries").
+	CacheAds bool
+
+	bids []BidRecord // audit log for experiments
+}
+
+// BidRecord is one bidding round's outcome.
+type BidRecord struct {
+	VMID   core.VMID
+	Costs  map[string]core.Cost // plant name → bid (feasible ones only)
+	Winner string
+}
+
+// New creates a shop over the given plants. The seed drives random
+// tie-breaking deterministically.
+func New(name string, plants []PlantHandle, seed int64) *Shop {
+	return &Shop{
+		name:   name,
+		plants: plants,
+		rng:    sim.NewRNG(seed),
+		routes: make(map[core.VMID]PlantHandle),
+		cache:  make(map[core.VMID]*classad.Ad),
+	}
+}
+
+// Name returns the shop name.
+func (s *Shop) Name() string { return s.name }
+
+// Plants returns the managed plant handles.
+func (s *Shop) Plants() []PlantHandle { return append([]PlantHandle(nil), s.plants...) }
+
+// Bids returns the audit log of bidding rounds.
+func (s *Shop) Bids() []BidRecord { return append([]BidRecord(nil), s.bids...) }
+
+// mintID assigns the next VMID (paper: "a VMShop-assigned unique
+// identifier for the virtual machine (VMID)").
+func (s *Shop) mintID() core.VMID {
+	s.nextID++
+	return core.VMID(fmt.Sprintf("vm-%s-%d", s.name, s.nextID))
+}
+
+// Create runs one full creation: validate, collect bids, pick the
+// winner, dispatch, and return the VMID with the classad.
+func (s *Shop) Create(p *sim.Proc, spec *core.Spec) (core.VMID, *classad.Ad, error) {
+	if err := spec.Validate(); err != nil {
+		return "", nil, err
+	}
+	id := s.mintID()
+	candidates := append([]PlantHandle(nil), s.plants...)
+	rec := BidRecord{VMID: id, Costs: make(map[string]core.Cost)}
+
+	reqAd, err := requestAd(spec)
+	if err != nil {
+		return "", nil, fmt.Errorf("shop %s: bad Requirements: %w", s.name, err)
+	}
+	for len(candidates) > 0 {
+		// Bidding round: ask every remaining plant for an estimate.
+		type bid struct {
+			h PlantHandle
+			c core.Cost
+		}
+		var feasible []bid
+		for _, h := range candidates {
+			c, plantAd, err := h.Estimate(p, spec)
+			if err != nil || !c.OK() {
+				continue
+			}
+			// Classad matchmaking (Raman et al.): the request's
+			// Requirements must accept the plant's resource ad, and the
+			// plant's policy Requirements must accept the request.
+			if plantAd != nil && !classad.Match(reqAd, plantAd) {
+				continue
+			}
+			rec.Costs[h.Name()] = c
+			feasible = append(feasible, bid{h, c})
+		}
+		if len(feasible) == 0 {
+			s.bids = append(s.bids, rec)
+			return "", nil, fmt.Errorf("shop %s: no plant can satisfy the request", s.name)
+		}
+		// Lowest bid wins; ties broken uniformly at random ("The VMShop
+		// picks one plant at random", §3.4).
+		best := feasible[0].c
+		for _, b := range feasible[1:] {
+			if b.c < best {
+				best = b.c
+			}
+		}
+		var winners []PlantHandle
+		for _, b := range feasible {
+			if b.c == best {
+				winners = append(winners, b.h)
+			}
+		}
+		winner := winners[s.rng.Intn(len(winners))]
+
+		ad, err := winner.Create(p, id, spec)
+		if err == nil {
+			rec.Winner = winner.Name()
+			s.bids = append(s.bids, rec)
+			s.routes[id] = winner
+			if s.CacheAds {
+				s.cache[id] = ad.Clone()
+			}
+			return id, ad, nil
+		}
+		if !errors.Is(err, ErrPlantDown) {
+			// A plant-internal creation failure (e.g. a configuration
+			// action whose error policy aborted) is the request's
+			// outcome, reported to the client; only transport failures
+			// trigger a re-bid among the surviving plants.
+			s.bids = append(s.bids, rec)
+			return "", nil, fmt.Errorf("shop %s: plant %s: %w", s.name, winner.Name(), err)
+		}
+		candidates = without(candidates, winner)
+	}
+	s.bids = append(s.bids, rec)
+	return "", nil, fmt.Errorf("shop %s: every feasible plant failed to create the VM", s.name)
+}
+
+func without(hs []PlantHandle, drop PlantHandle) []PlantHandle {
+	out := hs[:0]
+	for _, h := range hs {
+		if h != drop {
+			out = append(out, h)
+		}
+	}
+	return out
+}
+
+// Query returns an active VM's classad. Unknown routes trigger
+// recovery: the shop asks every plant, rebuilding its soft state.
+func (s *Shop) Query(p *sim.Proc, id core.VMID) (*classad.Ad, error) {
+	if h, ok := s.routes[id]; ok {
+		ad, found, err := h.Query(p, id)
+		if err == nil && found {
+			if s.CacheAds {
+				s.cache[id] = ad.Clone()
+			}
+			return ad, nil
+		}
+		if err == nil && !found {
+			// The routed plant no longer holds the VM: it was collected
+			// — or migrated to another plant. Drop the stale route and
+			// fall through to the recovery sweep, which finds migrated
+			// VMs and re-learns their location.
+			delete(s.routes, id)
+			delete(s.cache, id)
+		}
+		// Plant unreachable or route stale: recovery sweep below.
+	}
+	if ad, ok := s.recover(p, id); ok {
+		return ad, nil
+	}
+	// Serve a stale cached ad if we have one and the plant is down.
+	if s.CacheAds {
+		if ad, ok := s.cache[id]; ok {
+			return ad.Clone(), nil
+		}
+	}
+	return nil, fmt.Errorf("shop %s: no plant knows VM %s", s.name, id)
+}
+
+// recover sweeps all plants for a VM the shop has no (valid) route to.
+func (s *Shop) recover(p *sim.Proc, id core.VMID) (*classad.Ad, bool) {
+	for _, h := range s.plants {
+		ad, found, err := h.Query(p, id)
+		if err != nil || !found {
+			continue
+		}
+		s.routes[id] = h
+		if s.CacheAds {
+			s.cache[id] = ad.Clone()
+		}
+		return ad, true
+	}
+	return nil, false
+}
+
+// Destroy collects a VM.
+func (s *Shop) Destroy(p *sim.Proc, id core.VMID) error {
+	h, ok := s.routes[id]
+	if !ok {
+		if _, found := s.recover(p, id); !found {
+			return fmt.Errorf("shop %s: no plant knows VM %s", s.name, id)
+		}
+		h = s.routes[id]
+	}
+	found, err := h.Collect(p, id)
+	if err != nil {
+		return err
+	}
+	delete(s.routes, id)
+	delete(s.cache, id)
+	if !found {
+		return fmt.Errorf("shop %s: VM %s no longer exists", s.name, id)
+	}
+	return nil
+}
+
+// Publish checkpoints an active VM into the warehouse as a new golden
+// image, routed to the hosting plant.
+func (s *Shop) Publish(p *sim.Proc, id core.VMID, image string) error {
+	h, ok := s.routes[id]
+	if !ok {
+		if _, found := s.recover(p, id); !found {
+			return fmt.Errorf("shop %s: no plant knows VM %s", s.name, id)
+		}
+		h = s.routes[id]
+	}
+	return h.Publish(p, id, image)
+}
+
+// Suspend parks an active VM (checkpoint to disk, host memory freed).
+func (s *Shop) Suspend(p *sim.Proc, id core.VMID) error {
+	return s.lifecycle(p, id, proto.LifecycleSuspend)
+}
+
+// Resume brings a suspended VM back to running.
+func (s *Shop) Resume(p *sim.Proc, id core.VMID) error {
+	return s.lifecycle(p, id, proto.LifecycleResume)
+}
+
+func (s *Shop) lifecycle(p *sim.Proc, id core.VMID, op string) error {
+	h, ok := s.routes[id]
+	if !ok {
+		if _, found := s.recover(p, id); !found {
+			return fmt.Errorf("shop %s: no plant knows VM %s", s.name, id)
+		}
+		h = s.routes[id]
+	}
+	return h.Lifecycle(p, id, op)
+}
+
+// ForgetRoutes drops the shop's soft routing state, simulating a shop
+// restart; subsequent queries must recover from the plants.
+func (s *Shop) ForgetRoutes() {
+	s.routes = make(map[core.VMID]PlantHandle)
+	s.cache = make(map[core.VMID]*classad.Ad)
+}
+
+// requestAd renders a creation request as a classad for matchmaking
+// against plant resource ads.
+func requestAd(spec *core.Spec) (*classad.Ad, error) {
+	ad := classad.New().
+		SetString("Name", spec.Name).
+		SetString("Arch", spec.Hardware.Arch).
+		SetInt("MemoryMB", int64(spec.Hardware.MemoryMB)).
+		SetInt("DiskMB", int64(spec.Hardware.DiskMB)).
+		SetString("Domain", spec.Domain).
+		SetString("Backend", spec.Backend)
+	if spec.Requirements != "" {
+		if err := ad.SetExprString("Requirements", spec.Requirements); err != nil {
+			return nil, err
+		}
+	}
+	return ad, nil
+}
+
+// RouteOf reports which plant the shop believes hosts the VM ("" when
+// unknown) — used by tests and the experiment harness.
+func (s *Shop) RouteOf(id core.VMID) string {
+	if h, ok := s.routes[id]; ok {
+		return h.Name()
+	}
+	return ""
+}

@@ -1,0 +1,31 @@
+package sim
+
+import (
+	"testing"
+	"time"
+)
+
+func BenchmarkKernelEventThroughput(b *testing.B) {
+	b.ReportAllocs()
+	k := NewKernel()
+	k.Spawn("ticker", func(p *Proc) {
+		for i := 0; i < b.N; i++ {
+			p.Sleep(time.Millisecond)
+		}
+	})
+	b.ResetTimer()
+	k.Run(0)
+}
+
+func BenchmarkPipeTransfers(b *testing.B) {
+	b.ReportAllocs()
+	k := NewKernel()
+	pipe := NewPipe("d", 1e9)
+	k.Spawn("xfer", func(p *Proc) {
+		for i := 0; i < b.N; i++ {
+			pipe.Transfer(p, 4096, 1)
+		}
+	})
+	b.ResetTimer()
+	k.Run(0)
+}

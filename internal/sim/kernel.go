@@ -1,0 +1,284 @@
+// Package sim implements a deterministic discrete-event simulation kernel.
+//
+// The kernel models virtual time. Simulation actors are "processes":
+// ordinary goroutines that the kernel runs one at a time, in strict
+// event-timestamp order, so a simulation with a fixed RNG seed is fully
+// deterministic regardless of the host scheduler. A process interacts
+// with virtual time exclusively through its *Proc handle (Sleep, Wait,
+// resource acquisition); while one process runs, every other process and
+// the kernel's Run loop are parked, and control is handed over through a
+// single baton. This mirrors the classic process-oriented simulation
+// style (SimPy, CSIM). Ties on timestamps are broken by event sequence
+// number, so FIFO ordering among same-time events is preserved.
+package sim
+
+import (
+	"container/heap"
+	"fmt"
+	"math"
+	"sort"
+	"time"
+)
+
+// event is a scheduled resumption of a process at a virtual time.
+type event struct {
+	at   time.Duration
+	seq  uint64
+	proc *Proc
+	idx  int // heap index
+}
+
+// eventQueue is a min-heap ordered by (at, seq).
+type eventQueue []*event
+
+func (q eventQueue) Len() int { return len(q) }
+func (q eventQueue) Less(i, j int) bool {
+	if q[i].at != q[j].at {
+		return q[i].at < q[j].at
+	}
+	return q[i].seq < q[j].seq
+}
+func (q eventQueue) Swap(i, j int) {
+	q[i], q[j] = q[j], q[i]
+	q[i].idx = i
+	q[j].idx = j
+}
+func (q *eventQueue) Push(x any) {
+	e := x.(*event)
+	e.idx = len(*q)
+	*q = append(*q, e)
+}
+func (q *eventQueue) Pop() any {
+	old := *q
+	n := len(old)
+	e := old[n-1]
+	old[n-1] = nil
+	*q = old[:n-1]
+	return e
+}
+
+// Kernel is a discrete-event simulation. The zero value is not usable;
+// create one with NewKernel.
+//
+// A Kernel is not safe for concurrent use from multiple host goroutines:
+// Run must be called from exactly one goroutine, and all process code is
+// serialized by the kernel itself.
+type Kernel struct {
+	now        time.Duration
+	seq        uint64
+	dispatched uint64
+	queue      eventQueue
+	procs      map[int64]*Proc
+	nextID     int64
+	running    bool
+	yielded    chan struct{}
+}
+
+// NewKernel returns an empty simulation at virtual time zero.
+func NewKernel() *Kernel {
+	return &Kernel{
+		procs:   make(map[int64]*Proc),
+		yielded: make(chan struct{}),
+	}
+}
+
+// Now reports the current virtual time as an offset from simulation start.
+func (k *Kernel) Now() time.Duration { return k.now }
+
+// ProcState describes the lifecycle of a simulation process.
+type ProcState int
+
+// Process lifecycle states.
+const (
+	ProcReady   ProcState = iota // spawned, not yet started
+	ProcRunning                  // currently executing
+	ProcBlocked                  // waiting on a queue, resource, or signal
+	ProcDone                     // body returned
+)
+
+// Proc is the kernel-side handle for one simulation process. All methods
+// must be called from within some running process or before Run starts,
+// as documented per method.
+type Proc struct {
+	k      *Kernel
+	id     int64
+	name   string
+	state  ProcState
+	resume chan struct{}
+	parked *event // pending wakeup, if any
+
+	// interrupted is set when another process wakes this one out of a
+	// Wait before its deadline.
+	interrupted bool
+}
+
+// ID returns the process's unique id within its kernel.
+func (p *Proc) ID() int64 { return p.id }
+
+// Name returns the name given at Spawn.
+func (p *Proc) Name() string { return p.name }
+
+// Kernel returns the owning kernel. Useful for spawning children.
+func (p *Proc) Kernel() *Kernel { return p.k }
+
+// Now reports current virtual time. Callable only while p is running.
+func (p *Proc) Now() time.Duration { return p.k.now }
+
+// State reports the process's lifecycle state.
+func (p *Proc) State() ProcState { return p.state }
+
+// Spawn registers a new process whose body is fn and schedules it to
+// start at the current virtual time. Spawn may be called before Run or
+// from inside a running process.
+func (k *Kernel) Spawn(name string, fn func(p *Proc)) *Proc {
+	k.nextID++
+	p := &Proc{
+		k:      k,
+		id:     k.nextID,
+		name:   name,
+		state:  ProcReady,
+		resume: make(chan struct{}),
+	}
+	k.procs[p.id] = p
+	go func() {
+		<-p.resume
+		p.state = ProcRunning
+		fn(p)
+		p.state = ProcDone
+		delete(k.procs, p.id)
+		k.yielded <- struct{}{}
+	}()
+	p.scheduleAt(k.now)
+	return p
+}
+
+// scheduleAt enqueues a wakeup for p at time at (clamped to >= now).
+func (p *Proc) scheduleAt(at time.Duration) {
+	k := p.k
+	if at < k.now {
+		at = k.now
+	}
+	k.seq++
+	e := &event{at: at, seq: k.seq, proc: p}
+	p.parked = e
+	heap.Push(&k.queue, e)
+}
+
+// cancelPending removes p's scheduled wakeup, if any.
+func (p *Proc) cancelPending() {
+	if p.parked == nil {
+		return
+	}
+	heap.Remove(&p.k.queue, p.parked.idx)
+	p.parked = nil
+}
+
+// yield hands the baton back to the Run loop and blocks until the kernel
+// resumes this process.
+func (p *Proc) yield() {
+	p.state = ProcBlocked
+	p.k.yielded <- struct{}{}
+	<-p.resume
+	p.state = ProcRunning
+}
+
+// Sleep suspends the calling process for d of virtual time. A zero or
+// negative d yields to other same-time events and returns.
+func (p *Proc) Sleep(d time.Duration) {
+	if d < 0 {
+		d = 0
+	}
+	p.scheduleAt(p.k.now + d)
+	p.yield()
+	p.interrupted = false
+}
+
+// Wait suspends the calling process until another process calls WakeUp,
+// or until d elapses if d >= 0 (d < 0 means wait indefinitely). It
+// reports whether the process was woken explicitly (true) rather than
+// timing out (false).
+func (p *Proc) Wait(d time.Duration) bool {
+	if d >= 0 {
+		p.scheduleAt(p.k.now + d)
+	}
+	p.yield()
+	woken := p.interrupted
+	p.interrupted = false
+	return woken
+}
+
+// WakeUp makes a blocked process runnable at the current virtual time.
+// It must be called from another running process. Waking a process that
+// is not blocked is a no-op.
+func (p *Proc) WakeUp() {
+	if p.state != ProcBlocked {
+		return
+	}
+	p.cancelPending()
+	p.interrupted = true
+	p.scheduleAt(p.k.now)
+}
+
+// RunResult summarizes a kernel run.
+type RunResult struct {
+	End      time.Duration // virtual time when Run returned
+	Events   uint64        // events dispatched over the kernel's life
+	Stranded []string      // names of live processes left blocked forever
+}
+
+// Run drives the simulation until no events remain or virtual time would
+// exceed until (until <= 0 means run to quiescence). It returns a
+// summary including the names of any processes left permanently blocked;
+// such processes' goroutines remain parked until the host process exits,
+// so long-lived callers should treat a non-empty Stranded list as a bug.
+func (k *Kernel) Run(until time.Duration) RunResult {
+	if k.running {
+		panic("sim: Kernel.Run called re-entrantly")
+	}
+	k.running = true
+	defer func() { k.running = false }()
+	for k.queue.Len() > 0 {
+		if until > 0 && k.queue[0].at > until {
+			k.now = until
+			break
+		}
+		e := heap.Pop(&k.queue).(*event)
+		if e.proc.parked != e {
+			continue // stale event: the process was rescheduled
+		}
+		e.proc.parked = nil
+		if e.at > k.now {
+			k.now = e.at
+		}
+		k.dispatched++
+		e.proc.resume <- struct{}{}
+		<-k.yielded
+	}
+	res := RunResult{End: k.now, Events: k.dispatched}
+	for _, p := range k.procs {
+		if p.state == ProcBlocked && p.parked == nil {
+			res.Stranded = append(res.Stranded, p.name)
+		}
+	}
+	sort.Strings(res.Stranded)
+	return res
+}
+
+// Failf panics with a simulation-context message. Processes use it for
+// invariant violations; tests recover it via testing's panic handling.
+func (p *Proc) Failf(format string, args ...any) {
+	panic(fmt.Sprintf("sim: t=%v proc=%q: %s", p.k.now, p.name, fmt.Sprintf(format, args...)))
+}
+
+// Seconds converts a float number of seconds to a time.Duration,
+// saturating instead of overflowing.
+func Seconds(s float64) time.Duration {
+	if s <= 0 {
+		return 0
+	}
+	f := s * float64(time.Second)
+	if f > math.MaxInt64 {
+		return time.Duration(math.MaxInt64)
+	}
+	return time.Duration(f)
+}

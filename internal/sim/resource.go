@@ -1,0 +1,144 @@
+package sim
+
+import "time"
+
+// Resource is a counting semaphore with FIFO queuing under virtual time.
+// A Resource with capacity 1 is a fair mutex. Acquisition order among
+// waiters is strictly first-come-first-served in event order, which keeps
+// simulations deterministic.
+type Resource struct {
+	name     string
+	capacity int
+	inUse    int
+	waiters  []*waiter
+}
+
+type waiter struct {
+	p *Proc
+	n int
+}
+
+// NewResource creates a resource with the given capacity (>= 1).
+func NewResource(name string, capacity int) *Resource {
+	if capacity < 1 {
+		panic("sim: resource capacity must be >= 1")
+	}
+	return &Resource{name: name, capacity: capacity}
+}
+
+// Name returns the resource's name.
+func (r *Resource) Name() string { return r.name }
+
+// InUse reports how many units are currently held.
+func (r *Resource) InUse() int { return r.inUse }
+
+// Capacity reports the resource's total units.
+func (r *Resource) Capacity() int { return r.capacity }
+
+// QueueLen reports how many processes are waiting.
+func (r *Resource) QueueLen() int { return len(r.waiters) }
+
+// Acquire blocks the calling process until n units are available and
+// then holds them. n must be between 1 and the resource capacity.
+func (r *Resource) Acquire(p *Proc, n int) {
+	if n < 1 || n > r.capacity {
+		p.Failf("acquire %d of resource %q with capacity %d", n, r.name, r.capacity)
+	}
+	if len(r.waiters) == 0 && r.inUse+n <= r.capacity {
+		r.inUse += n
+		return
+	}
+	w := &waiter{p: p, n: n}
+	r.waiters = append(r.waiters, w)
+	for {
+		p.Wait(-1)
+		// Woken by Release; check if we are at the head and fit.
+		if len(r.waiters) > 0 && r.waiters[0] == w && r.inUse+n <= r.capacity {
+			r.waiters = r.waiters[1:]
+			r.inUse += n
+			// Cascade: the next waiter may also fit now (e.g. several
+			// small requests after a big release).
+			r.wakeHead()
+			return
+		}
+	}
+}
+
+// Release returns n units and wakes the head waiter if it can proceed.
+func (r *Resource) Release(p *Proc, n int) {
+	if n < 1 || n > r.inUse {
+		p.Failf("release %d of resource %q with %d in use", n, r.name, r.inUse)
+	}
+	r.inUse -= n
+	r.wakeHead()
+}
+
+func (r *Resource) wakeHead() {
+	if len(r.waiters) > 0 && r.inUse+r.waiters[0].n <= r.capacity {
+		r.waiters[0].p.WakeUp()
+	}
+}
+
+// Use acquires n units, sleeps for d, and releases: the common pattern
+// for modeling service time at a station.
+func (r *Resource) Use(p *Proc, n int, d time.Duration) {
+	r.Acquire(p, n)
+	p.Sleep(d)
+	r.Release(p, n)
+}
+
+// Pipe models a bandwidth-limited transfer channel (a disk, a NIC, an
+// NFS server's aggregate throughput). Transfers are serialized FIFO: a
+// transfer of size bytes occupies the pipe for size/bandwidth of virtual
+// time. FIFO serialization (rather than processor sharing) matches how
+// contention appears as queueing delay; it keeps the model deterministic
+// and is a good approximation for the mostly-sequential workloads in the
+// VMPlants experiments.
+type Pipe struct {
+	res *Resource
+	// BytesPerSecond is the pipe's throughput. It may be changed between
+	// transfers to model degraded devices.
+	BytesPerSecond float64
+	// PerTransferOverhead is a fixed setup latency added to every
+	// transfer (protocol round trips, open/close).
+	PerTransferOverhead time.Duration
+
+	totalBytes int64
+	transfers  int64
+}
+
+// NewPipe creates a pipe with the given throughput in bytes per second.
+func NewPipe(name string, bytesPerSecond float64) *Pipe {
+	if bytesPerSecond <= 0 {
+		panic("sim: pipe bandwidth must be positive")
+	}
+	return &Pipe{res: NewResource(name, 1), BytesPerSecond: bytesPerSecond}
+}
+
+// Name returns the pipe's name.
+func (pi *Pipe) Name() string { return pi.res.Name() }
+
+// Transfer moves size bytes through the pipe, blocking the calling
+// process for queueing plus transmission time. The scale factor
+// multiplies the transmission time (>= 1 models a slowed device, e.g.
+// a host under memory pressure); scale <= 0 is treated as 1.
+func (pi *Pipe) Transfer(p *Proc, size int64, scale float64) {
+	if size < 0 {
+		p.Failf("negative transfer size %d on pipe %q", size, pi.Name())
+	}
+	if scale <= 0 {
+		scale = 1
+	}
+	d := Seconds(float64(size) / pi.BytesPerSecond * scale)
+	pi.res.Use(p, 1, pi.PerTransferOverhead+d)
+	pi.totalBytes += size
+	pi.transfers++
+}
+
+// Stats reports cumulative bytes moved and number of transfers.
+func (pi *Pipe) Stats() (bytes int64, transfers int64) {
+	return pi.totalBytes, pi.transfers
+}
+
+// QueueLen reports how many transfers are waiting for the pipe.
+func (pi *Pipe) QueueLen() int { return pi.res.QueueLen() }

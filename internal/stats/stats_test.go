@@ -1,0 +1,214 @@
+package stats
+
+import (
+	"math"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func almost(a, b float64) bool { return math.Abs(a-b) < 1e-9 }
+
+func TestSummarizeBasics(t *testing.T) {
+	s := Summarize([]float64{2, 4, 4, 4, 5, 5, 7, 9})
+	if s.N != 8 {
+		t.Errorf("N = %d", s.N)
+	}
+	if !almost(s.Mean, 5) {
+		t.Errorf("Mean = %v, want 5", s.Mean)
+	}
+	if s.Min != 2 || s.Max != 9 {
+		t.Errorf("Min/Max = %v/%v", s.Min, s.Max)
+	}
+	// Sample stddev of this classic dataset is sqrt(32/7).
+	if !almost(s.Stddev, math.Sqrt(32.0/7.0)) {
+		t.Errorf("Stddev = %v", s.Stddev)
+	}
+}
+
+func TestSummarizeEmpty(t *testing.T) {
+	s := Summarize(nil)
+	if s.N != 0 || s.Mean != 0 {
+		t.Errorf("empty summary = %+v", s)
+	}
+}
+
+func TestPercentileInterpolation(t *testing.T) {
+	s := Summarize([]float64{1, 2, 3, 4})
+	if !almost(s.P50, 2.5) {
+		t.Errorf("P50 = %v, want 2.5", s.P50)
+	}
+	one := Summarize([]float64{42})
+	if one.P50 != 42 || one.P99 != 42 {
+		t.Errorf("single-sample percentiles = %v/%v", one.P50, one.P99)
+	}
+}
+
+func TestHistogramBucketsAndCenters(t *testing.T) {
+	h := NewHistogram(0, 10)
+	h.AddAll([]float64{3, 7, 12, 14, 15, 47})
+	bks := h.Buckets()
+	if len(bks) != 5 { // centers 5,15,25,35,45 (25 and 35 empty)
+		t.Fatalf("got %d buckets: %+v", len(bks), bks)
+	}
+	if bks[0].Center != 5 || bks[0].Count != 2 {
+		t.Errorf("bucket 0 = %+v", bks[0])
+	}
+	if bks[1].Center != 15 || bks[1].Count != 3 {
+		t.Errorf("bucket 1 = %+v", bks[1])
+	}
+	if bks[2].Count != 0 || bks[3].Count != 0 {
+		t.Errorf("interior empty buckets missing: %+v", bks)
+	}
+	if bks[4].Center != 45 || bks[4].Count != 1 {
+		t.Errorf("bucket 4 = %+v", bks[4])
+	}
+}
+
+func TestHistogramFrequenciesSumToOne(t *testing.T) {
+	check := func(xs []float64) bool {
+		if len(xs) == 0 {
+			return true
+		}
+		h := NewHistogram(0, 7)
+		for _, x := range xs {
+			if math.IsNaN(x) || math.IsInf(x, 0) {
+				return true
+			}
+			// Keep samples in a sane range so bucket indices fit.
+			h.Add(math.Mod(x, 1e6))
+		}
+		var sum float64
+		for _, bk := range h.Buckets() {
+			sum += bk.Frequency
+		}
+		return math.Abs(sum-1) < 1e-9
+	}
+	if err := quick.Check(check, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestHistogramBoundaryGoesToHigherBucket(t *testing.T) {
+	h := NewHistogram(0, 10)
+	h.Add(10) // exactly on an edge: belongs to [10,20)
+	bks := h.Buckets()
+	if len(bks) != 1 || bks[0].Center != 15 {
+		t.Errorf("buckets = %+v, want single bucket centered at 15", bks)
+	}
+}
+
+func TestHistogramNegativeOrigin(t *testing.T) {
+	h := NewHistogram(-20, 10)
+	h.Add(-15)
+	h.Add(-5)
+	bks := h.Buckets()
+	if len(bks) != 2 || bks[0].Center != -15 || bks[1].Center != -5 {
+		t.Errorf("buckets = %+v", bks)
+	}
+}
+
+func TestSeriesTrendSlope(t *testing.T) {
+	var s Series
+	for i := 0; i < 50; i++ {
+		s.Append(float64(i), 3+2*float64(i))
+	}
+	if !almost(s.TrendSlope(), 2) {
+		t.Errorf("slope = %v, want 2", s.TrendSlope())
+	}
+	var flat Series
+	flat.Append(1, 5)
+	if flat.TrendSlope() != 0 {
+		t.Errorf("single-point slope = %v, want 0", flat.TrendSlope())
+	}
+}
+
+func TestSeriesDownsampleKeepsLast(t *testing.T) {
+	var s Series
+	for i := 0; i < 10; i++ {
+		s.Append(float64(i), float64(i))
+	}
+	d := s.Downsample(4)
+	// indices 0, 4, 8, plus forced last (9)
+	if d.Len() != 4 || d.X[3] != 9 {
+		t.Errorf("downsampled = %+v", d)
+	}
+}
+
+func TestMultiHistogramTableLayout(t *testing.T) {
+	a := NewHistogram(0, 10)
+	a.AddAll([]float64{5, 15, 15})
+	b := NewHistogram(0, 10)
+	b.AddAll([]float64{25})
+	out := MultiHistogramTable("latency (s)", map[string]*Histogram{"32MB": a, "256MB": b}, []string{"32MB", "256MB"})
+	if !strings.Contains(out, "32MB") || !strings.Contains(out, "256MB") {
+		t.Errorf("missing headers:\n%s", out)
+	}
+	lines := strings.Split(strings.TrimSpace(out), "\n")
+	if len(lines) != 4 { // header + centers 5,15,25
+		t.Errorf("got %d lines:\n%s", len(lines), out)
+	}
+}
+
+func TestMultiSeriesTable(t *testing.T) {
+	a := &Series{Name: "32MB"}
+	a.Append(1, 10)
+	a.Append(2, 11)
+	b := &Series{Name: "256MB"}
+	b.Append(1, 40)
+	out := MultiSeriesTable("seq", a, b)
+	if !strings.Contains(out, "seq") || !strings.Contains(out, "40.00") {
+		t.Errorf("table:\n%s", out)
+	}
+	lines := strings.Split(strings.TrimSpace(out), "\n")
+	if len(lines) != 3 {
+		t.Errorf("got %d lines:\n%s", len(lines), out)
+	}
+}
+
+func TestSummaryStringIsReadable(t *testing.T) {
+	s := Summarize([]float64{1, 2, 3})
+	str := s.String()
+	if !strings.Contains(str, "n=3") || !strings.Contains(str, "mean=2.00") {
+		t.Errorf("summary string %q", str)
+	}
+}
+
+// Property: percentiles are monotone (P50 ≤ P90 ≤ P99) and bounded by
+// min/max for any sample.
+func TestPercentileMonotonicityProperty(t *testing.T) {
+	check := func(xs []float64) bool {
+		var clean []float64
+		for _, x := range xs {
+			if !math.IsNaN(x) && !math.IsInf(x, 0) {
+				clean = append(clean, x)
+			}
+		}
+		if len(clean) == 0 {
+			return true
+		}
+		s := Summarize(clean)
+		return s.Min <= s.P50 && s.P50 <= s.P90 && s.P90 <= s.P99 && s.P99 <= s.Max
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: a histogram's counts sum to N for any sample.
+func TestHistogramCountConservationProperty(t *testing.T) {
+	check := func(xs []int16) bool {
+		h := NewHistogram(-1000, 13)
+		for _, x := range xs {
+			h.Add(float64(x))
+		}
+		total := 0
+		for _, b := range h.Buckets() {
+			total += b.Count
+		}
+		return total == len(xs) && h.N() == len(xs)
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,259 @@
+// Package storage models the paper's storage substrate under the
+// discrete-event kernel: each cluster node has a local SCSI disk, and
+// the VM Warehouse lives on a shared NFS server reached over switched
+// 100 Mbit/s Ethernet (paper §4.2). Volumes carry a real file namespace
+// (names, sizes, link targets) so the production line's link-vs-copy
+// cloning decisions are observable, and every byte moved costs virtual
+// time through a bandwidth pipe.
+package storage
+
+import (
+	"fmt"
+	"sort"
+	"time"
+
+	"vmplants/internal/sim"
+)
+
+// Device is something bytes move through at a finite rate.
+type Device struct {
+	name string
+	pipe *sim.Pipe
+	// slots caps concurrent streams for shared servers; nil means
+	// unlimited concurrency is irrelevant because the pipe serializes.
+	slots *sim.Resource
+}
+
+// NewDevice creates a device with the given throughput.
+func NewDevice(name string, bytesPerSecond float64, perTransferOverhead time.Duration) *Device {
+	p := sim.NewPipe(name, bytesPerSecond)
+	p.PerTransferOverhead = perTransferOverhead
+	return &Device{name: name, pipe: p}
+}
+
+// NewServer creates a shared device that admits at most maxStreams
+// concurrent transfers; further clients queue.
+func NewServer(name string, bytesPerSecond float64, perTransferOverhead time.Duration, maxStreams int) *Device {
+	d := NewDevice(name, bytesPerSecond, perTransferOverhead)
+	d.slots = sim.NewResource(name+".slots", maxStreams)
+	return d
+}
+
+// Name returns the device name.
+func (d *Device) Name() string { return d.name }
+
+// ShareSlots makes transfers through d also occupy other's stream slots,
+// modeling a client mount whose server bounds aggregate concurrency.
+func (d *Device) ShareSlots(other *Device) { d.slots = other.slots }
+
+// transfer moves size bytes through the device; scale ≥ 1 slows the
+// effective rate (memory pressure, degraded paths).
+func (d *Device) transfer(p *sim.Proc, size int64, scale float64) {
+	if d.slots != nil {
+		d.slots.Acquire(p, 1)
+		defer d.slots.Release(p, 1)
+	}
+	d.pipe.Transfer(p, size, scale)
+}
+
+// Transfer moves size bytes through the device directly — for paths
+// with no file namespace, like the cluster's node-to-node interconnect.
+func (d *Device) Transfer(p *sim.Proc, size int64, scale float64) {
+	d.transfer(p, size, scale)
+}
+
+// Stats reports cumulative bytes and transfer count.
+func (d *Device) Stats() (bytes, transfers int64) { return d.pipe.Stats() }
+
+// entry is one file in a volume.
+type entry struct {
+	size    int64
+	linkTo  string // non-empty for same-volume symlinks
+	foreign *foreignRef
+}
+
+// foreignRef is a cross-volume symlink target (a local path pointing at
+// an NFS-mounted file, the way clones reference the golden disk).
+type foreignRef struct {
+	vol  *Volume
+	path string
+}
+
+// Volume is a named file namespace on a device.
+type Volume struct {
+	name  string
+	dev   *Device
+	files map[string]entry
+	// LinkLatency is the metadata cost of creating a link (or a file
+	// entry); it models the paper's "soft links rather than file copies".
+	LinkLatency time.Duration
+}
+
+// NewVolume creates an empty volume on dev.
+func NewVolume(name string, dev *Device) *Volume {
+	return &Volume{name: name, dev: dev, files: make(map[string]entry), LinkLatency: 5 * time.Millisecond}
+}
+
+// Name returns the volume name.
+func (v *Volume) Name() string { return v.name }
+
+// ViewOn returns a view of the same namespace whose transfers are costed
+// against dev — how each cluster node sees the shared NFS warehouse
+// through its own mount. Namespace mutations are visible through every
+// view.
+func (v *Volume) ViewOn(dev *Device) *Volume {
+	return &Volume{name: v.name, dev: dev, files: v.files, LinkLatency: v.LinkLatency}
+}
+
+// Device returns the backing device.
+func (v *Volume) Device() *Device { return v.dev }
+
+// Exists reports whether path is present.
+func (v *Volume) Exists(path string) bool {
+	_, ok := v.files[path]
+	return ok
+}
+
+// Stat returns a file's logical size, resolving one level of links
+// (same-volume or cross-volume).
+func (v *Volume) Stat(path string) (int64, error) {
+	e, ok := v.files[path]
+	if !ok {
+		return 0, fmt.Errorf("storage: %s: no file %q", v.name, path)
+	}
+	if e.foreign != nil {
+		return e.foreign.vol.Stat(e.foreign.path)
+	}
+	if e.linkTo != "" {
+		t, ok := v.files[e.linkTo]
+		if !ok {
+			return 0, fmt.Errorf("storage: %s: dangling link %q → %q", v.name, path, e.linkTo)
+		}
+		return t.size, nil
+	}
+	return e.size, nil
+}
+
+// List returns all paths, sorted.
+func (v *Volume) List() []string {
+	out := make([]string, 0, len(v.files))
+	for p := range v.files {
+		out = append(out, p)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Write creates (or truncates) a file of the given size, paying the
+// device's write cost.
+func (v *Volume) Write(p *sim.Proc, path string, size int64, scale float64) error {
+	if size < 0 {
+		return fmt.Errorf("storage: negative size for %q", path)
+	}
+	v.dev.transfer(p, size, scale)
+	v.files[path] = entry{size: size}
+	return nil
+}
+
+// WriteMeta creates a zero-cost metadata-only file entry (bookkeeping
+// files whose byte cost is accounted elsewhere).
+func (v *Volume) WriteMeta(path string, size int64) {
+	v.files[path] = entry{size: size}
+}
+
+// Read pays the device's read cost for the whole file and returns its
+// size.
+func (v *Volume) Read(p *sim.Proc, path string, scale float64) (int64, error) {
+	size, err := v.Stat(path)
+	if err != nil {
+		return 0, err
+	}
+	v.dev.transfer(p, size, scale)
+	return size, nil
+}
+
+// Link creates a symlink dst → src on the same volume: metadata only,
+// LinkLatency of virtual time, no data movement.
+func (v *Volume) Link(p *sim.Proc, src, dst string) error {
+	if _, ok := v.files[src]; !ok {
+		return fmt.Errorf("storage: %s: link source %q missing", v.name, src)
+	}
+	p.Sleep(v.LinkLatency)
+	v.files[dst] = entry{linkTo: src}
+	return nil
+}
+
+// IsLink reports whether path is a symlink (same- or cross-volume).
+func (v *Volume) IsLink(path string) bool {
+	e, ok := v.files[path]
+	return ok && (e.linkTo != "" || e.foreign != nil)
+}
+
+// LinkForeign creates dst on v as a symlink to srcPath on another
+// volume — the production line's "soft links for the virtual hard disk"
+// pointing into the NFS warehouse. Metadata only; LinkLatency applies.
+func (v *Volume) LinkForeign(p *sim.Proc, src *Volume, srcPath, dst string) error {
+	if !src.Exists(srcPath) {
+		return fmt.Errorf("storage: %s: foreign link source %s:%q missing", v.name, src.name, srcPath)
+	}
+	p.Sleep(v.LinkLatency)
+	v.files[dst] = entry{foreign: &foreignRef{vol: src, path: srcPath}}
+	return nil
+}
+
+// CopyTo copies src on v to dstPath on dst, streaming through both
+// devices: the transfer occupies the source device at the bottleneck
+// rate, then pays only the destination's fixed overhead (the stream
+// writes as it reads). scale further slows the effective rate.
+func (v *Volume) CopyTo(p *sim.Proc, src string, dst *Volume, dstPath string, scale float64) (int64, error) {
+	size, err := v.Stat(src)
+	if err != nil {
+		return 0, err
+	}
+	if scale <= 0 {
+		scale = 1
+	}
+	srcBW := v.dev.pipe.BytesPerSecond
+	dstBW := dst.dev.pipe.BytesPerSecond
+	eff := srcBW
+	if dstBW < eff {
+		eff = dstBW
+	}
+	// Occupy the source device for the whole streamed copy at the
+	// bottleneck rate; the destination only charges its per-transfer
+	// overhead (its bandwidth is subsumed by the bottleneck rate).
+	v.dev.transfer(p, size, scale*srcBW/eff)
+	p.Sleep(dst.dev.pipe.PerTransferOverhead)
+	dst.files[dstPath] = entry{size: size}
+	return size, nil
+}
+
+// Charge pays the device cost of moving size bytes without touching the
+// namespace — for operations whose file bookkeeping happens elsewhere
+// (e.g. a warehouse publish whose entries the warehouse itself records).
+func (v *Volume) Charge(p *sim.Proc, size int64, scale float64) {
+	if size <= 0 {
+		return
+	}
+	v.dev.transfer(p, size, scale)
+}
+
+// Delete removes a file; it is an error if absent.
+func (v *Volume) Delete(path string) error {
+	if _, ok := v.files[path]; !ok {
+		return fmt.Errorf("storage: %s: delete of missing %q", v.name, path)
+	}
+	delete(v.files, path)
+	return nil
+}
+
+// UsedBytes sums the sizes of real (non-link) files.
+func (v *Volume) UsedBytes() int64 {
+	var n int64
+	for _, e := range v.files {
+		if e.linkTo == "" {
+			n += e.size
+		}
+	}
+	return n
+}

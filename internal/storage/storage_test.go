@@ -1,0 +1,208 @@
+package storage
+
+import (
+	"testing"
+	"time"
+
+	"vmplants/internal/sim"
+)
+
+// run executes body as a single simulation process and returns the
+// virtual time it took.
+func run(t *testing.T, body func(p *sim.Proc)) time.Duration {
+	t.Helper()
+	k := sim.NewKernel()
+	k.Spawn("test", body)
+	res := k.Run(0)
+	if len(res.Stranded) != 0 {
+		t.Fatalf("stranded: %v", res.Stranded)
+	}
+	return res.End
+}
+
+func TestWriteAndReadCostTime(t *testing.T) {
+	dev := NewDevice("disk", 10e6, 0)
+	v := NewVolume("v", dev)
+	d := run(t, func(p *sim.Proc) {
+		if err := v.Write(p, "f", 20e6, 1); err != nil {
+			t.Error(err)
+		}
+		if _, err := v.Read(p, "f", 1); err != nil {
+			t.Error(err)
+		}
+	})
+	if d != 4*time.Second { // 2s write + 2s read
+		t.Errorf("elapsed %v, want 4s", d)
+	}
+	size, err := v.Stat("f")
+	if err != nil || size != 20e6 {
+		t.Errorf("Stat = %d, %v", size, err)
+	}
+}
+
+func TestLinkIsCheapAndResolves(t *testing.T) {
+	dev := NewDevice("disk", 10e6, 0)
+	v := NewVolume("v", dev)
+	d := run(t, func(p *sim.Proc) {
+		v.Write(p, "base", 100e6, 1)
+		if err := v.Link(p, "base", "clone"); err != nil {
+			t.Error(err)
+		}
+	})
+	// 10s for the write; the link adds only LinkLatency.
+	if d >= 10*time.Second+time.Second {
+		t.Errorf("elapsed %v, link not cheap", d)
+	}
+	if !v.IsLink("clone") || v.IsLink("base") {
+		t.Error("IsLink wrong")
+	}
+	size, err := v.Stat("clone")
+	if err != nil || size != 100e6 {
+		t.Errorf("link Stat = %d, %v", size, err)
+	}
+}
+
+func TestLinkToMissingSource(t *testing.T) {
+	v := NewVolume("v", NewDevice("d", 1e6, 0))
+	run(t, func(p *sim.Proc) {
+		if err := v.Link(p, "ghost", "l"); err == nil {
+			t.Error("dangling link source accepted")
+		}
+	})
+}
+
+func TestCopyToBottleneckRate(t *testing.T) {
+	fast := NewVolume("fast", NewDevice("fastdev", 100e6, 0))
+	slow := NewVolume("slow", NewDevice("slowdev", 10e6, 0))
+	d := run(t, func(p *sim.Proc) {
+		fast.WriteMeta("src", 50e6)
+		if _, err := fast.CopyTo(p, "src", slow, "dst", 1); err != nil {
+			t.Error(err)
+		}
+	})
+	// Bottleneck is the 10 MB/s destination: 5 s.
+	if d != 5*time.Second {
+		t.Errorf("copy took %v, want 5s", d)
+	}
+	if size, _ := slow.Stat("dst"); size != 50e6 {
+		t.Error("copy did not create destination entry")
+	}
+}
+
+func TestCopyScaleSlowsDown(t *testing.T) {
+	a := NewVolume("a", NewDevice("ad", 10e6, 0))
+	b := NewVolume("b", NewDevice("bd", 10e6, 0))
+	d := run(t, func(p *sim.Proc) {
+		a.WriteMeta("src", 10e6)
+		a.CopyTo(p, "src", b, "dst", 2)
+	})
+	if d != 2*time.Second {
+		t.Errorf("scaled copy took %v, want 2s", d)
+	}
+}
+
+func TestServerSlotsQueueTransfers(t *testing.T) {
+	server := NewServer("nfs", 100e6, 0, 1) // one stream at a time
+	v := NewVolume("w", server)
+	var done []time.Duration
+	k := sim.NewKernel()
+	v.WriteMeta("f", 100e6) // 1s at full rate
+	for i := 0; i < 3; i++ {
+		k.Spawn("reader", func(p *sim.Proc) {
+			if _, err := v.Read(p, "f", 1); err != nil {
+				t.Error(err)
+			}
+			done = append(done, p.Now())
+		})
+	}
+	k.Run(0)
+	want := []time.Duration{time.Second, 2 * time.Second, 3 * time.Second}
+	for i := range want {
+		if done[i] != want[i] {
+			t.Fatalf("completions %v, want %v", done, want)
+		}
+	}
+}
+
+func TestViewSharesNamespaceChargesOwnDevice(t *testing.T) {
+	serverDev := NewDevice("server", 100e6, 0)
+	server := NewVolume("warehouse", serverDev)
+	mountDev := NewDevice("mount", 10e6, 0)
+	view := server.ViewOn(mountDev)
+
+	d := run(t, func(p *sim.Proc) {
+		server.WriteMeta("golden", 20e6)
+		if !view.Exists("golden") {
+			t.Error("view does not see server file")
+		}
+		view.Read(p, "golden", 1)
+	})
+	if d != 2*time.Second { // at the mount's 10 MB/s, not the server's 100
+		t.Errorf("view read took %v, want 2s", d)
+	}
+	// Mutation through the view visible at the server.
+	view.WriteMeta("x", 1)
+	if !server.Exists("x") {
+		t.Error("server does not see view write")
+	}
+}
+
+func TestDeleteAndErrors(t *testing.T) {
+	v := NewVolume("v", NewDevice("d", 1e6, 0))
+	v.WriteMeta("f", 10)
+	if err := v.Delete("f"); err != nil {
+		t.Error(err)
+	}
+	if err := v.Delete("f"); err == nil {
+		t.Error("double delete accepted")
+	}
+	if _, err := v.Stat("f"); err == nil {
+		t.Error("Stat of deleted file succeeded")
+	}
+	run(t, func(p *sim.Proc) {
+		if _, err := v.Read(p, "ghost", 1); err == nil {
+			t.Error("read of missing file succeeded")
+		}
+		if err := v.Write(p, "neg", -1, 1); err == nil {
+			t.Error("negative size accepted")
+		}
+	})
+}
+
+func TestDanglingLinkStat(t *testing.T) {
+	v := NewVolume("v", NewDevice("d", 1e6, 0))
+	v.WriteMeta("src", 10)
+	run(t, func(p *sim.Proc) {
+		v.Link(p, "src", "l")
+	})
+	v.Delete("src")
+	if _, err := v.Stat("l"); err == nil {
+		t.Error("dangling link Stat succeeded")
+	}
+}
+
+func TestUsedBytesIgnoresLinks(t *testing.T) {
+	v := NewVolume("v", NewDevice("d", 1e9, 0))
+	run(t, func(p *sim.Proc) {
+		v.Write(p, "a", 100, 1)
+		v.Write(p, "b", 50, 1)
+		v.Link(p, "a", "l")
+	})
+	if v.UsedBytes() != 150 {
+		t.Errorf("UsedBytes = %d", v.UsedBytes())
+	}
+	if got := v.List(); len(got) != 3 || got[0] != "a" || got[2] != "l" {
+		t.Errorf("List = %v", got)
+	}
+}
+
+func TestPerTransferOverhead(t *testing.T) {
+	dev := NewDevice("d", 1e6, 500*time.Millisecond)
+	v := NewVolume("v", dev)
+	d := run(t, func(p *sim.Proc) {
+		v.Write(p, "tiny", 0, 1)
+	})
+	if d != 500*time.Millisecond {
+		t.Errorf("zero-byte write took %v, want overhead only", d)
+	}
+}

@@ -1,0 +1,45 @@
+package vdisk
+
+import "testing"
+
+func benchGolden(b *testing.B) *Disk {
+	im, err := NewImage("base", 2048, 16)
+	if err != nil {
+		b.Fatal(err)
+	}
+	d := NewDisk("g", im)
+	blk := make([]byte, BlockSize)
+	for i := int64(0); i < 64; i++ {
+		if err := d.WriteBlock(i, blk); err != nil {
+			b.Fatal(err)
+		}
+	}
+	d.Freeze()
+	return d
+}
+
+func BenchmarkLinkClone(b *testing.B) {
+	d := benchGolden(b)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := d.Clone("c", CloneByLink); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkReadThroughChain(b *testing.B) {
+	d := benchGolden(b)
+	res, err := d.Clone("c", CloneByLink)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := res.Disk.ReadBlock(int64(i % 64)); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,321 @@
+// Package vnet implements the VNET-style virtual network overlay the
+// paper integrates with (§3.3, citing Sundararaj & Dinda): a bridge
+// operating at the Ethernet layer that connects a VM's host-only
+// network on a remote VMPlant to the client domain's own network,
+// through a proxy the client runs. Frames are tunneled over a TCP
+// stream; the plant side authenticates the client domain's credential
+// before attaching the bridge, and never bridges two domains together.
+//
+// The package works over any net.Conn, so tests use net.Pipe and the
+// daemons use real TCP (optionally through the SSH tunnels the paper
+// describes; tunneling is outside this package's scope).
+package vnet
+
+import (
+	"bufio"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"sync"
+
+	"vmplants/internal/simnet"
+)
+
+// Wire protocol constants.
+var handshakeMagic = []byte("VNET1\n")
+
+const (
+	maxFramePayload = 9000 // jumbo-frame ceiling
+	frameHeaderLen  = 6 + 6 + 2 + 2
+)
+
+// Credentials maps client domain → shared secret. The paper: "the
+// client attaches to its VM request credentials for uniquely
+// identifying its domain".
+type Credentials map[string]string
+
+// writeFrame serializes one frame: dst, src, ethertype, payload length,
+// payload.
+func writeFrame(w io.Writer, f simnet.Frame) error {
+	if len(f.Payload) > maxFramePayload {
+		return fmt.Errorf("vnet: payload %d exceeds %d", len(f.Payload), maxFramePayload)
+	}
+	var hdr [frameHeaderLen]byte
+	copy(hdr[0:6], f.Dst[:])
+	copy(hdr[6:12], f.Src[:])
+	binary.BigEndian.PutUint16(hdr[12:14], f.EtherType)
+	binary.BigEndian.PutUint16(hdr[14:16], uint16(len(f.Payload)))
+	if _, err := w.Write(hdr[:]); err != nil {
+		return err
+	}
+	_, err := w.Write(f.Payload)
+	return err
+}
+
+// readFrame parses one frame.
+func readFrame(r io.Reader) (simnet.Frame, error) {
+	var hdr [frameHeaderLen]byte
+	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+		return simnet.Frame{}, err
+	}
+	var f simnet.Frame
+	copy(f.Dst[:], hdr[0:6])
+	copy(f.Src[:], hdr[6:12])
+	f.EtherType = binary.BigEndian.Uint16(hdr[12:14])
+	n := binary.BigEndian.Uint16(hdr[14:16])
+	if n > maxFramePayload {
+		return simnet.Frame{}, fmt.Errorf("vnet: frame payload %d exceeds %d", n, maxFramePayload)
+	}
+	f.Payload = make([]byte, n)
+	if _, err := io.ReadFull(r, f.Payload); err != nil {
+		return simnet.Frame{}, err
+	}
+	return f, nil
+}
+
+// Bridge splices a switch port and a conn: frames the switch delivers
+// to the port are written to the conn, frames read from the conn are
+// injected into the switch.
+type Bridge struct {
+	port *simnet.Port
+	conn net.Conn
+
+	mu     sync.Mutex
+	w      *bufio.Writer
+	closed bool
+	done   chan struct{}
+
+	txFrames, rxFrames uint64
+}
+
+// newBridge starts bridging; it owns conn and port.
+func newBridge(sw *simnet.Switch, portName string, conn net.Conn) *Bridge {
+	b := &Bridge{
+		port: sw.Attach(portName),
+		conn: conn,
+		w:    bufio.NewWriter(conn),
+		done: make(chan struct{}),
+	}
+	b.port.SetHandler(b.toWire)
+	go b.fromWire()
+	return b
+}
+
+// toWire ships a switch-delivered frame to the remote side.
+func (b *Bridge) toWire(f simnet.Frame) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if b.closed {
+		return
+	}
+	if err := writeFrame(b.w, f); err != nil {
+		b.closeLocked()
+		return
+	}
+	if err := b.w.Flush(); err != nil {
+		b.closeLocked()
+		return
+	}
+	b.txFrames++
+}
+
+// fromWire injects remote frames into the local switch until the conn
+// fails or the bridge closes.
+func (b *Bridge) fromWire() {
+	defer close(b.done)
+	r := bufio.NewReader(b.conn)
+	for {
+		f, err := readFrame(r)
+		if err != nil {
+			b.Close()
+			return
+		}
+		b.mu.Lock()
+		b.rxFrames++
+		closed := b.closed
+		b.mu.Unlock()
+		if closed {
+			return
+		}
+		// Injecting through the port teaches the switch that the remote
+		// MACs live behind this bridge.
+		if err := b.port.Send(f); err != nil {
+			return
+		}
+	}
+}
+
+// Stats reports frames bridged in each direction.
+func (b *Bridge) Stats() (tx, rx uint64) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.txFrames, b.rxFrames
+}
+
+// Close tears the bridge down and detaches its port.
+func (b *Bridge) Close() {
+	b.mu.Lock()
+	b.closeLocked()
+	b.mu.Unlock()
+}
+
+func (b *Bridge) closeLocked() {
+	if b.closed {
+		return
+	}
+	b.closed = true
+	b.port.Close()
+	b.conn.Close()
+}
+
+// Wait blocks until the bridge's reader loop has exited.
+func (b *Bridge) Wait() { <-b.done }
+
+// Dial performs the client-side handshake on conn, identifying domain
+// with token, and bridges sw (the client-side network) on success.
+func Dial(sw *simnet.Switch, domain, token string, conn net.Conn) (*Bridge, error) {
+	if _, err := conn.Write(handshakeMagic); err != nil {
+		conn.Close()
+		return nil, err
+	}
+	if err := writeString(conn, domain); err != nil {
+		conn.Close()
+		return nil, err
+	}
+	if err := writeString(conn, token); err != nil {
+		conn.Close()
+		return nil, err
+	}
+	var verdict [3]byte
+	if _, err := io.ReadFull(conn, verdict[:]); err != nil {
+		conn.Close()
+		return nil, fmt.Errorf("vnet: handshake read: %w", err)
+	}
+	if string(verdict[:]) != "OK\n" {
+		conn.Close()
+		return nil, errors.New("vnet: server rejected credentials")
+	}
+	return newBridge(sw, "vnet-proxy:"+domain, conn), nil
+}
+
+// NetworkLookup resolves a client domain to the host-only network its
+// VMs occupy on this plant. It returns false when the domain owns no
+// network here.
+type NetworkLookup func(domain string) (*simnet.Switch, bool)
+
+// Server is the plant-side VNET endpoint.
+type Server struct {
+	creds  Credentials
+	lookup NetworkLookup
+
+	mu      sync.Mutex
+	bridges []*Bridge
+}
+
+// NewServer creates a VNET server with the given credential table and
+// domain→network resolver.
+func NewServer(creds Credentials, lookup NetworkLookup) *Server {
+	return &Server{creds: creds, lookup: lookup}
+}
+
+// HandleConn performs the server-side handshake and, on success,
+// bridges the domain's host-only network over conn. It returns the
+// bridge, or an error after closing conn.
+func (s *Server) HandleConn(conn net.Conn) (*Bridge, error) {
+	fail := func(err error) (*Bridge, error) {
+		conn.Write([]byte("NO\n"))
+		conn.Close()
+		return nil, err
+	}
+	magic := make([]byte, len(handshakeMagic))
+	if _, err := io.ReadFull(conn, magic); err != nil {
+		conn.Close()
+		return nil, fmt.Errorf("vnet: short handshake: %w", err)
+	}
+	if string(magic) != string(handshakeMagic) {
+		return fail(errors.New("vnet: bad magic"))
+	}
+	domain, err := readString(conn)
+	if err != nil {
+		conn.Close()
+		return nil, err
+	}
+	token, err := readString(conn)
+	if err != nil {
+		conn.Close()
+		return nil, err
+	}
+	want, ok := s.creds[domain]
+	if !ok || want != token {
+		return fail(fmt.Errorf("vnet: bad credential for domain %q", domain))
+	}
+	sw, ok := s.lookup(domain)
+	if !ok {
+		return fail(fmt.Errorf("vnet: domain %q has no network on this plant", domain))
+	}
+	if _, err := conn.Write([]byte("OK\n")); err != nil {
+		conn.Close()
+		return nil, err
+	}
+	b := newBridge(sw, "vnet-handler:"+domain, conn)
+	s.mu.Lock()
+	s.bridges = append(s.bridges, b)
+	s.mu.Unlock()
+	return b, nil
+}
+
+// Serve accepts connections from l until it is closed, handling each in
+// its own goroutine. Handshake failures are dropped silently (the
+// caller closed them already).
+func (s *Server) Serve(l net.Listener) {
+	for {
+		conn, err := l.Accept()
+		if err != nil {
+			return
+		}
+		go s.HandleConn(conn)
+	}
+}
+
+// Close tears down every active bridge.
+func (s *Server) Close() {
+	s.mu.Lock()
+	bs := append([]*Bridge(nil), s.bridges...)
+	s.mu.Unlock()
+	for _, b := range bs {
+		b.Close()
+	}
+}
+
+const maxStringLen = 1024
+
+func writeString(w io.Writer, s string) error {
+	if len(s) > maxStringLen {
+		return fmt.Errorf("vnet: string too long (%d)", len(s))
+	}
+	var n [2]byte
+	binary.BigEndian.PutUint16(n[:], uint16(len(s)))
+	if _, err := w.Write(n[:]); err != nil {
+		return err
+	}
+	_, err := io.WriteString(w, s)
+	return err
+}
+
+func readString(r io.Reader) (string, error) {
+	var n [2]byte
+	if _, err := io.ReadFull(r, n[:]); err != nil {
+		return "", err
+	}
+	ln := binary.BigEndian.Uint16(n[:])
+	if ln > maxStringLen {
+		return "", fmt.Errorf("vnet: string too long (%d)", ln)
+	}
+	buf := make([]byte, ln)
+	if _, err := io.ReadFull(r, buf); err != nil {
+		return "", err
+	}
+	return string(buf), nil
+}

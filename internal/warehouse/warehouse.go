@@ -1,0 +1,340 @@
+// Package warehouse implements the VM Warehouse (paper §3.2, Figure 2):
+// the store of "golden" virtual machine images the Production Process
+// Planner matches creation requests against. Golden machines are stored
+// as files on the shared (NFS-backed) warehouse volume — a VM
+// configuration file, memory-state file, virtual-disk extents and base
+// redo log — and each is described by an XML descriptor recording its
+// memory size, installed operating system and the configuration actions
+// already performed on it (paper §4.1).
+package warehouse
+
+import (
+	"bytes"
+	"encoding/xml"
+	"fmt"
+	"sort"
+
+	"vmplants/internal/actions"
+	"vmplants/internal/core"
+	"vmplants/internal/dag"
+	"vmplants/internal/match"
+	"vmplants/internal/storage"
+	"vmplants/internal/vdisk"
+)
+
+// Backend names of the production lines an image suits.
+const (
+	BackendVMware = "vmware" // suspended checkpoint: cloned VMs resume
+	BackendUML    = "uml"    // filesystem image: cloned VMs boot
+)
+
+// MemImageOverheadMB is device state saved alongside guest RAM in a
+// checkpoint file (a .vmss holds RAM plus device model state).
+const MemImageOverheadMB = 6
+
+// DiskSpanFiles is how many extent files a golden virtual disk spans
+// (the paper's 2 GB disk is "spanned across 16 files").
+const DiskSpanFiles = 16
+
+// Image is one golden machine.
+type Image struct {
+	// Name is the warehouse key.
+	Name string
+	// Hardware is the checkpointed configuration.
+	Hardware core.HardwareSpec
+	// Backend says which production line can instantiate the image.
+	Backend string
+	// Performed is the recorded configuration history from blank
+	// machine to checkpoint, in execution order.
+	Performed []dag.Action
+	// Guest is the guest OS state snapshot at checkpoint time.
+	Guest *actions.State
+	// Disk is the golden virtual disk (frozen, clean top layer).
+	Disk *vdisk.Disk
+
+	// State file paths on the warehouse volume.
+	ConfigPath   string
+	MemImagePath string // empty for boot-style (UML) images
+	RedoPath     string
+	ExtentPaths  []string
+
+	// refs counts live clones whose virtual disks link into this
+	// image's state files; a referenced image cannot be retired.
+	refs int
+}
+
+// Ref records a live clone of the image.
+func (im *Image) Ref() { im.refs++ }
+
+// Unref releases a clone's reference.
+func (im *Image) Unref() error {
+	if im.refs == 0 {
+		return fmt.Errorf("warehouse: unref of %q with no references", im.Name)
+	}
+	im.refs--
+	return nil
+}
+
+// Refs reports live clones of the image.
+func (im *Image) Refs() int { return im.refs }
+
+// OS returns the installed operating system ("" for a blank machine).
+func (im *Image) OS() string {
+	if im.Guest == nil {
+		return ""
+	}
+	return im.Guest.OS
+}
+
+// MemImageBytes is the size of the checkpointed memory state that must
+// be copied per clone (zero for boot-style images).
+func (im *Image) MemImageBytes() int64 {
+	if im.MemImagePath == "" {
+		return 0
+	}
+	return int64(im.Hardware.MemoryMB+MemImageOverheadMB) * 1024 * 1024
+}
+
+// Candidate converts the image to the matcher's view of it.
+func (im *Image) Candidate() match.Candidate {
+	return match.Candidate{ID: im.Name, Hardware: im.Hardware, Performed: im.Performed}
+}
+
+// Descriptor is the XML description stored beside each image (paper
+// §4.1: "XML files are used to describe such cached images in terms of
+// their memory sizes, operating system installed, and the configuration
+// actions that have already been performed").
+type Descriptor struct {
+	XMLName  xml.Name      `xml:"golden-machine"`
+	Name     string        `xml:"name,attr"`
+	Backend  string        `xml:"backend,attr"`
+	Arch     string        `xml:"hardware>arch"`
+	MemoryMB int           `xml:"hardware>memoryMB"`
+	DiskMB   int           `xml:"hardware>diskMB"`
+	OS       string        `xml:"os"`
+	Actions  []descrAction `xml:"performed>action"`
+}
+
+type descrAction struct {
+	Op     string       `xml:"op,attr"`
+	Target string       `xml:"target,attr"`
+	Params []descrParam `xml:"param"`
+}
+
+type descrParam struct {
+	Name  string `xml:"name,attr"`
+	Value string `xml:"value,attr"`
+}
+
+// Descriptor builds the XML descriptor for the image.
+func (im *Image) Descriptor() Descriptor {
+	d := Descriptor{
+		Name:     im.Name,
+		Backend:  im.Backend,
+		Arch:     im.Hardware.Arch,
+		MemoryMB: im.Hardware.MemoryMB,
+		DiskMB:   im.Hardware.DiskMB,
+		OS:       im.OS(),
+	}
+	for _, a := range im.Performed {
+		da := descrAction{Op: a.Op, Target: a.Target.String()}
+		keys := make([]string, 0, len(a.Params))
+		for k := range a.Params {
+			keys = append(keys, k)
+		}
+		sort.Strings(keys)
+		for _, k := range keys {
+			da.Params = append(da.Params, descrParam{Name: k, Value: a.Params[k]})
+		}
+		d.Actions = append(d.Actions, da)
+	}
+	return d
+}
+
+// ParseDescriptor decodes an XML descriptor and reconstructs the
+// performed-action list.
+func ParseDescriptor(blob []byte) (Descriptor, []dag.Action, error) {
+	var d Descriptor
+	if err := xml.Unmarshal(blob, &d); err != nil {
+		return Descriptor{}, nil, fmt.Errorf("warehouse: bad descriptor: %w", err)
+	}
+	var perf []dag.Action
+	for _, da := range d.Actions {
+		tgt, err := dag.ParseTarget(da.Target)
+		if err != nil {
+			return Descriptor{}, nil, fmt.Errorf("warehouse: descriptor %q: %w", d.Name, err)
+		}
+		a := dag.Action{Op: da.Op, Target: tgt}
+		if len(da.Params) > 0 {
+			a.Params = make(map[string]string, len(da.Params))
+			for _, p := range da.Params {
+				a.Params[p.Name] = p.Value
+			}
+		}
+		perf = append(perf, a)
+	}
+	return d, perf, nil
+}
+
+// Warehouse is the image store over the shared volume.
+type Warehouse struct {
+	vol    *storage.Volume
+	images map[string]*Image
+}
+
+// New creates an empty warehouse on the given (server-side) volume.
+func New(vol *storage.Volume) *Warehouse {
+	return &Warehouse{vol: vol, images: make(map[string]*Image)}
+}
+
+// Volume returns the backing volume.
+func (w *Warehouse) Volume() *storage.Volume { return w.vol }
+
+// Publish registers a golden image and lays its state files down on the
+// warehouse volume. Publication is the paper's off-line "golden machine
+// definition" step, performed by installers before plants serve
+// requests, so no virtual time is charged.
+func (w *Warehouse) Publish(im *Image) error {
+	if im.Name == "" {
+		return fmt.Errorf("warehouse: image needs a name")
+	}
+	if _, dup := w.images[im.Name]; dup {
+		return fmt.Errorf("warehouse: image %q already published", im.Name)
+	}
+	if err := im.Hardware.Validate(); err != nil {
+		return fmt.Errorf("warehouse: image %q: %w", im.Name, err)
+	}
+	if im.Backend != BackendVMware && im.Backend != BackendUML {
+		return fmt.Errorf("warehouse: image %q: unknown backend %q", im.Name, im.Backend)
+	}
+	if im.Disk == nil {
+		return fmt.Errorf("warehouse: image %q has no disk", im.Name)
+	}
+	// Consistency: replaying the recorded actions must reproduce the
+	// recorded guest state's identity (same OS), catching descriptors
+	// that drifted from their content.
+	replayed, err := actions.Replay(im.Performed)
+	if err != nil {
+		return fmt.Errorf("warehouse: image %q history does not replay: %w", im.Name, err)
+	}
+	if im.Guest == nil {
+		im.Guest = replayed
+	} else if im.Guest.OS != replayed.OS {
+		return fmt.Errorf("warehouse: image %q records OS %q but history yields %q",
+			im.Name, im.Guest.OS, replayed.OS)
+	}
+
+	dir := "golden/" + im.Name + "/"
+	im.ConfigPath = dir + "vm.cfg"
+	w.vol.WriteMeta(im.ConfigPath, 2*1024)
+	im.RedoPath = dir + "base.redo"
+	w.vol.WriteMeta(im.RedoPath, im.Disk.RedoBytes())
+	if im.Backend == BackendVMware {
+		im.MemImagePath = dir + "mem.vmss"
+		w.vol.WriteMeta(im.MemImagePath, im.MemImageBytes())
+	}
+	im.ExtentPaths = nil
+	extent := im.Disk.Base().SizeBytes() / int64(DiskSpanFiles)
+	for i := 0; i < DiskSpanFiles; i++ {
+		p := fmt.Sprintf("%sdisk-s%03d.vmdk", dir, i)
+		w.vol.WriteMeta(p, extent)
+		im.ExtentPaths = append(im.ExtentPaths, p)
+	}
+	var buf bytes.Buffer
+	enc := xml.NewEncoder(&buf)
+	enc.Indent("", "  ")
+	if err := enc.Encode(im.Descriptor()); err != nil {
+		return fmt.Errorf("warehouse: image %q descriptor: %w", im.Name, err)
+	}
+	w.vol.WriteMeta(dir+"descriptor.xml", int64(buf.Len()))
+	w.images[im.Name] = im
+	return nil
+}
+
+// Remove retires a golden image, deleting its state files from the
+// warehouse volume. An image with live clones cannot be removed: their
+// virtual disks hold soft links into its extents.
+func (w *Warehouse) Remove(name string) error {
+	im, ok := w.images[name]
+	if !ok {
+		return fmt.Errorf("warehouse: no image %q", name)
+	}
+	if im.refs > 0 {
+		return fmt.Errorf("warehouse: image %q has %d live clones", name, im.refs)
+	}
+	paths := append([]string{im.ConfigPath, im.RedoPath, "golden/" + name + "/descriptor.xml"}, im.ExtentPaths...)
+	if im.MemImagePath != "" {
+		paths = append(paths, im.MemImagePath)
+	}
+	for _, p := range paths {
+		if err := w.vol.Delete(p); err != nil {
+			return err
+		}
+	}
+	delete(w.images, name)
+	return nil
+}
+
+// Lookup returns a published image.
+func (w *Warehouse) Lookup(name string) (*Image, bool) {
+	im, ok := w.images[name]
+	return im, ok
+}
+
+// List returns all image names, sorted.
+func (w *Warehouse) List() []string {
+	out := make([]string, 0, len(w.images))
+	for n := range w.images {
+		out = append(out, n)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Candidates returns the matcher's view of every image suited to the
+// given backend ("" means any), in deterministic order.
+func (w *Warehouse) Candidates(backend string) []match.Candidate {
+	var out []match.Candidate
+	for _, n := range w.List() {
+		im := w.images[n]
+		if backend != "" && im.Backend != backend {
+			continue
+		}
+		out = append(out, im.Candidate())
+	}
+	return out
+}
+
+// BuildGolden constructs a golden image in memory: it replays the given
+// configuration history onto a blank guest, builds the golden disk with
+// its configuration delta in a frozen redo log, and returns the
+// unpublished image. The caller publishes it.
+func BuildGolden(name string, hw core.HardwareSpec, backend string, performed []dag.Action) (*Image, error) {
+	guest, err := actions.Replay(performed)
+	if err != nil {
+		return nil, fmt.Errorf("warehouse: golden %q: %w", name, err)
+	}
+	base, err := vdisk.NewImage(name+"-base", hw.DiskMB, DiskSpanFiles)
+	if err != nil {
+		return nil, err
+	}
+	disk := vdisk.NewDisk(name, base)
+	// The configuration session dirtied some blocks: one per performed
+	// action plus a marker, so clones have observable content.
+	for i := range performed {
+		blk := make([]byte, vdisk.BlockSize)
+		copy(blk, fmt.Sprintf("golden %s action %d (%s)", name, i, performed[i].Op))
+		if err := disk.WriteBlock(int64(i), blk); err != nil {
+			return nil, err
+		}
+	}
+	disk.Freeze()
+	return &Image{
+		Name:      name,
+		Hardware:  hw,
+		Backend:   backend,
+		Performed: performed,
+		Guest:     guest,
+		Disk:      disk,
+	}, nil
+}

@@ -1,0 +1,68 @@
+// Package workload builds the experiment scenarios of the paper's
+// evaluation: the In-VIGO virtual-workspace configuration DAG of
+// Figure 3, the golden images of §4.2, full simulated deployments
+// (8-node cluster, warehouse, plants, shop), and runners that regenerate
+// every figure and table (see EXPERIMENTS.md).
+package workload
+
+import (
+	"fmt"
+
+	"vmplants/internal/actions"
+	"vmplants/internal/dag"
+)
+
+func act(op string, kv ...string) dag.Action {
+	p := map[string]string{}
+	for i := 0; i+1 < len(kv); i += 2 {
+		p[kv[i]] = kv[i+1]
+	}
+	tgt, _ := actions.DefaultTarget(op)
+	if len(p) == 0 {
+		p = nil
+	}
+	return dag.Action{Op: op, Target: tgt, Params: p}
+}
+
+// InVigoGoldenHistory is the configuration recorded on the In-VIGO
+// golden machine (Figure 3 operations A, B, C): Red Hat 8.0, a VNC
+// server, and the web file manager.
+func InVigoGoldenHistory() []dag.Action {
+	return []dag.Action{
+		act(actions.OpInstallOS, "distro", "redhat-8.0"),
+		act(actions.OpInstallPackage, "name", "vnc-server"),
+		act(actions.OpInstallPackage, "name", "web-file-manager"),
+	}
+}
+
+// InVigoDAG builds the full Figure 3 client DAG for one user: the
+// golden prefix A–C followed by the personalization D–I (configure
+// MAC/IP, create the user, mount the home directory, configure the VNC
+// server, start both services).
+func InVigoDAG(user, mac, ip string) (*dag.Graph, error) {
+	return dag.NewBuilder().
+		Add("A", act(actions.OpInstallOS, "distro", "redhat-8.0")).
+		Add("B", act(actions.OpInstallPackage, "name", "vnc-server"), "A").
+		Add("C", act(actions.OpInstallPackage, "name", "web-file-manager"), "B").
+		Add("D", act(actions.OpConfigureNetwork, "mac", mac, "ip", ip), "C").
+		Add("E", act(actions.OpCreateUser, "name", user), "D").
+		Add("F", act(actions.OpMountFS, "source", "nfs:/home/"+user, "mountpoint", "/home/"+user), "E").
+		Add("G", act(actions.OpConfigureService, "name", "vnc"), "F").
+		Add("I", act(actions.OpStartService, "name", "file-manager"), "F").
+		Add("H", act(actions.OpStartService, "name", "vnc"), "G").
+		Build()
+}
+
+// GenericDAG is the un-personalized workspace DAG: exactly the golden
+// history, nothing more. Template-style provisioning (ablation A2) can
+// serve it from an exact-match image.
+func GenericDAG() (*dag.Graph, error) {
+	b := dag.NewBuilder()
+	prev := []string{}
+	for i, a := range InVigoGoldenHistory() {
+		id := fmt.Sprintf("g%d", i)
+		b.Add(id, a, prev...)
+		prev = []string{id}
+	}
+	return b.Build()
+}

@@ -1,0 +1,13 @@
+package vmplants
+
+import "vmplants/internal/simnet"
+
+// probeFrame builds the Ethernet-layer echo request GuestProbe sends.
+func probeFrame(dst simnet.MAC) simnet.Frame {
+	return simnet.Frame{
+		Src:       simnet.MAC{0x02, 0x00, 0x00, 0x00, 0x00, 0x01},
+		Dst:       dst,
+		EtherType: simnet.EtherTypeTest,
+		Payload:   []byte("probe"),
+	}
+}
