@@ -1,0 +1,24 @@
+GO ?= go
+
+.PHONY: build test race vet check bench
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+vet:
+	$(GO) vet ./...
+
+race:
+	$(GO) test -race ./...
+
+# check is the full pre-merge gate: build, vet, and the test suite
+# under the race detector (instrumentation runs concurrently with the
+# debug HTTP endpoints, so -race is part of the bar).
+check: scripts/check.sh
+	./scripts/check.sh
+
+bench:
+	$(GO) run ./cmd/vmbench -series smoke

@@ -13,18 +13,22 @@ import (
 	"flag"
 	"fmt"
 	"log"
+	"os"
+	"sort"
 	"strings"
 
 	"vmplants/internal/guestbench"
 	"vmplants/internal/stats"
+	"vmplants/internal/telemetry"
 	"vmplants/internal/workload"
 )
 
 func main() {
 	var (
-		exp    = flag.String("exp", "all", "experiment: all, fig4, fig5, fig6, copy, uml, cost, overhead, ablations, extensions")
-		seed   = flag.Int64("seed", 42, "random seed")
-		series = flag.String("series", "paper", "request series scale: paper or smoke")
+		exp      = flag.String("exp", "all", "experiment: all, fig4, fig5, fig6, copy, uml, cost, overhead, anatomy, trace, ablations, extensions")
+		seed     = flag.Int64("seed", 42, "random seed")
+		series   = flag.String("series", "paper", "request series scale: paper or smoke")
+		traceOut = flag.String("trace", "", "write the trace experiment's spans as JSONL to this file")
 	)
 	flag.Parse()
 
@@ -160,6 +164,66 @@ func main() {
 				park.SuspendSecs.Mean, park.ResumeSecs.Mean, park.CreateSecs.Mean,
 				park.CommittedBefore, park.CommittedParked)
 		},
+		"trace": func() {
+			hub := telemetry.New()
+			d, err := workload.NewDeployment(workload.Options{Seed: *seed, Telemetry: hub})
+			if err != nil {
+				log.Fatalf("vmbench: %v", err)
+			}
+			recs, err := d.RunCreationSeries(16, 64)
+			if err != nil {
+				log.Fatalf("vmbench: %v", err)
+			}
+			header("Telemetry: per-stage creation-time breakdown from traces (virtual seconds)")
+			spans := hub.Tracer.Spans()
+			byStage := make(map[string][]float64)
+			for _, s := range spans {
+				byStage[s.Name] = append(byStage[s.Name], s.Virtual().Seconds())
+			}
+			// Creation pipeline stages first, in execution order, then
+			// anything else a run happened to trace.
+			stages := []string{"shop.create", "shop.bid", "plant.create", "plan",
+				"clone", "clone.copy", "clone.resume", "clone.boot", "configure", "action"}
+			var rest []string
+			for name := range byStage {
+				known := false
+				for _, s := range stages {
+					if s == name {
+						known = true
+						break
+					}
+				}
+				if !known {
+					rest = append(rest, name)
+				}
+			}
+			sort.Strings(rest)
+			fmt.Printf("%-16s %5s %8s %8s %8s %8s\n", "stage", "n", "mean", "p50", "p90", "max")
+			for _, name := range append(stages, rest...) {
+				samples, ok := byStage[name]
+				if !ok {
+					continue
+				}
+				sum := stats.Summarize(samples)
+				fmt.Printf("%-16s %5d %8.2f %8.2f %8.2f %8.2f\n",
+					name, sum.N, sum.Mean, sum.P50, sum.P90, sum.Max)
+			}
+			fmt.Printf("\n%d spans from %d/%d successful creations; %d metrics registered\n",
+				len(spans), workload.Succeeded(recs), len(recs), len(hub.Metrics.Snapshot()))
+			if *traceOut != "" {
+				f, err := os.Create(*traceOut)
+				if err != nil {
+					log.Fatalf("vmbench: %v", err)
+				}
+				if err := hub.Tracer.WriteJSONL(f); err != nil {
+					log.Fatalf("vmbench: trace export: %v", err)
+				}
+				if err := f.Close(); err != nil {
+					log.Fatalf("vmbench: trace export: %v", err)
+				}
+				fmt.Printf("trace written to %s\n", *traceOut)
+			}
+		},
 		"ablations": func() {
 			a1, err := workload.RunAblationNoPartialMatch(*seed, 4)
 			if err != nil {
@@ -184,7 +248,7 @@ func main() {
 		},
 	}
 
-	order := []string{"fig4", "fig5", "fig6", "copy", "uml", "cost", "overhead", "anatomy", "ablations", "extensions"}
+	order := []string{"fig4", "fig5", "fig6", "copy", "uml", "cost", "overhead", "anatomy", "trace", "ablations", "extensions"}
 	switch *exp {
 	case "all":
 		for _, name := range order {

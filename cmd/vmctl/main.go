@@ -7,15 +7,19 @@
 //	vmctl -shop localhost:7000 create -example > request.xml
 //	vmctl -shop localhost:7000 query vm-shop-1
 //	vmctl -shop localhost:7000 destroy vm-shop-1
+//	vmctl stats -debug localhost:7070
 package main
 
 import (
+	"encoding/json"
 	"encoding/xml"
 	"flag"
 	"fmt"
 	"io"
 	"log"
+	"net/http"
 	"os"
+	"sort"
 	"time"
 
 	"vmplants/internal/proto"
@@ -47,6 +51,8 @@ func main() {
 			Lifecycle: &proto.LifecycleRequest{VMID: args[1], Op: args[0]}})
 	case "dot":
 		doDot(args[1:])
+	case "stats":
+		doStats(args[1:])
 	case "publish":
 		if len(args) < 3 {
 			usage()
@@ -59,7 +65,7 @@ func main() {
 }
 
 func usage() {
-	fmt.Fprintln(os.Stderr, "usage: vmctl [-shop addr] create [-spec file | -example] | query <vmid> | destroy <vmid> | suspend <vmid> | resume <vmid> | publish <vmid> <image> | dot [-spec file]")
+	fmt.Fprintln(os.Stderr, "usage: vmctl [-shop addr] create [-spec file | -example] | query <vmid> | destroy <vmid> | suspend <vmid> | resume <vmid> | publish <vmid> <image> | dot [-spec file] | stats [-debug addr] [-traces n]")
 	os.Exit(2)
 }
 
@@ -126,6 +132,67 @@ func doSimple(shopAddr string, timeout time.Duration, m *proto.Message) {
 	default:
 		log.Fatalf("vmctl: unexpected response %q", resp.Kind)
 	}
+}
+
+// doStats fetches a daemon's /metrics snapshot and pretty-prints it;
+// with -traces N it also dumps the N most recent spans from
+// /debug/traces.
+func doStats(args []string) {
+	fs := flag.NewFlagSet("stats", flag.ExitOnError)
+	debugAddr := fs.String("debug", "localhost:7070", "daemon debug HTTP address (vmshopd :7070, vmplantd :7071)")
+	traces := fs.Int("traces", 0, "also print the N most recent trace spans (0 = none)")
+	fs.Parse(args)
+
+	body, err := httpGet(fmt.Sprintf("http://%s/metrics", *debugAddr))
+	if err != nil {
+		log.Fatalf("vmctl: %v", err)
+	}
+	var snap map[string]any
+	if err := json.Unmarshal(body, &snap); err != nil {
+		log.Fatalf("vmctl: bad /metrics response: %v", err)
+	}
+	names := make([]string, 0, len(snap))
+	for n := range snap {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	for _, n := range names {
+		switch v := snap[n].(type) {
+		case map[string]any:
+			fmt.Printf("%-32s count=%v mean=%s p50=%s p90=%s p99=%s max=%s\n", n,
+				v["count"], num(v["mean"]), num(v["p50"]), num(v["p90"]), num(v["p99"]), num(v["max"]))
+		default:
+			fmt.Printf("%-32s %v\n", n, v)
+		}
+	}
+	if *traces > 0 {
+		body, err := httpGet(fmt.Sprintf("http://%s/debug/traces?limit=%d", *debugAddr, *traces))
+		if err != nil {
+			log.Fatalf("vmctl: %v", err)
+		}
+		fmt.Printf("\n# most recent %d spans (JSONL)\n%s", *traces, body)
+	}
+}
+
+func num(v any) string {
+	f, ok := v.(float64)
+	if !ok {
+		return fmt.Sprintf("%v", v)
+	}
+	return fmt.Sprintf("%.4g", f)
+}
+
+func httpGet(url string) ([]byte, error) {
+	client := &http.Client{Timeout: 10 * time.Second}
+	resp, err := client.Get(url)
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return nil, fmt.Errorf("GET %s: %s", url, resp.Status)
+	}
+	return io.ReadAll(resp.Body)
 }
 
 // doDot renders a request's configuration DAG in Graphviz dot syntax.

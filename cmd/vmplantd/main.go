@@ -26,6 +26,7 @@ import (
 	"vmplants/internal/service"
 	"vmplants/internal/sim"
 	"vmplants/internal/simnet"
+	"vmplants/internal/telemetry"
 	"vmplants/internal/vnet"
 	"vmplants/internal/warehouse"
 	"vmplants/internal/workload"
@@ -43,6 +44,7 @@ func main() {
 		diskMB   = flag.Int("disk", 2048, "golden image disk size (MB)")
 		vnetAddr = flag.String("vnet", "", "VNET server listen address (empty = disabled)")
 		creds    = flag.String("creds", "", "VNET credentials, comma-separated domain=token pairs")
+		debug    = flag.String("debug", ":7071", "debug HTTP listen address for /metrics and /debug/traces (empty = disabled)")
 	)
 	flag.Parse()
 
@@ -50,9 +52,12 @@ func main() {
 	if err != nil {
 		log.Fatalf("vmplantd: %v", err)
 	}
+	hub := telemetry.New()
 	k := sim.NewKernel()
+	k.SetTelemetry(hub)
 	tb := cluster.NewTestbed(k, 1, cluster.DefaultParams(), *seed)
 	wh := warehouse.New(tb.Warehouse)
+	wh.SetTelemetry(hub)
 	for _, field := range strings.Split(*golden, ",") {
 		field = strings.TrimSpace(field)
 		if field == "" {
@@ -78,8 +83,17 @@ func main() {
 		MaxVMs:           *maxVMs,
 		HostOnlyNetworks: *networks,
 		CostModel:        model,
+		Telemetry:        hub,
 	})
 	runner := service.NewRunner(k)
+
+	if *debug != "" {
+		addr, err := hub.ServeDebug(*debug)
+		if err != nil {
+			log.Fatalf("vmplantd: %v", err)
+		}
+		log.Printf("debug endpoints on http://%s/metrics and /debug/traces", addr)
+	}
 
 	if *vnetAddr != "" {
 		credTable := vnet.Credentials{}

@@ -19,6 +19,7 @@ import (
 	"vmplants/internal/service"
 	"vmplants/internal/shop"
 	"vmplants/internal/sim"
+	"vmplants/internal/telemetry"
 )
 
 func main() {
@@ -28,9 +29,11 @@ func main() {
 		seed    = flag.Int64("seed", 1, "tie-break random seed")
 		timeout = flag.Duration("timeout", 30*time.Second, "per-plant call timeout")
 		cache   = flag.Bool("cache", true, "cache classads to serve queries when plants are down")
+		debug   = flag.String("debug", ":7070", "debug HTTP listen address for /metrics and /debug/traces (empty = disabled)")
 	)
 	flag.Parse()
 
+	hub := telemetry.New()
 	var handles []shop.PlantHandle
 	for _, pair := range strings.Split(*plants, ",") {
 		pair = strings.TrimSpace(pair)
@@ -41,7 +44,7 @@ func main() {
 		if !ok {
 			log.Fatalf("vmshopd: bad plant %q (want name=addr)", pair)
 		}
-		handles = append(handles, &service.RemotePlant{PlantName: name, Addr: addr, Timeout: *timeout})
+		handles = append(handles, &service.RemotePlant{PlantName: name, Addr: addr, Timeout: *timeout, Telemetry: hub})
 	}
 	if len(handles) == 0 {
 		log.Fatal("vmshopd: no plants configured (-plants name=addr,...)")
@@ -49,7 +52,18 @@ func main() {
 
 	s := shop.New("shop", handles, *seed)
 	s.CacheAds = *cache
-	runner := service.NewRunner(sim.NewKernel())
+	s.SetTelemetry(hub)
+	k := sim.NewKernel()
+	k.SetTelemetry(hub)
+	runner := service.NewRunner(k)
+
+	if *debug != "" {
+		addr, err := hub.ServeDebug(*debug)
+		if err != nil {
+			log.Fatalf("vmshopd: %v", err)
+		}
+		log.Printf("debug endpoints on http://%s/metrics and /debug/traces", addr)
+	}
 
 	l, err := net.Listen("tcp", *listen)
 	if err != nil {

@@ -10,6 +10,7 @@ import (
 	"errors"
 	"fmt"
 	"strings"
+	"sync"
 	"time"
 
 	"vmplants/internal/classad"
@@ -20,6 +21,7 @@ import (
 	"vmplants/internal/match"
 	"vmplants/internal/sim"
 	"vmplants/internal/simnet"
+	"vmplants/internal/telemetry"
 	"vmplants/internal/vdisk"
 	"vmplants/internal/vmm"
 	"vmplants/internal/warehouse"
@@ -57,6 +59,9 @@ type Config struct {
 	// site refuse requests during matchmaking (e.g.
 	// `TARGET.MemoryMB <= 256 && TARGET.Domain != "banned.example"`).
 	PolicyAd *classad.Ad
+	// Telemetry receives the plant's spans and metrics; nil disables
+	// instrumentation at zero cost.
+	Telemetry *telemetry.Hub
 }
 
 // precreated is the plant's pool of speculatively pre-created clones
@@ -80,11 +85,30 @@ type Plant struct {
 	info *InfoSystem
 	rng  *sim.RNG
 
-	// pool holds speculatively pre-created clones, keyed by golden
-	// image name.
+	// mu guards the fields below: the creation log and the pre-created
+	// pool are read by out-of-kernel observers (debug endpoints, tests)
+	// while kernel processes append to them.
+	mu        sync.Mutex
 	pool      map[string][]precreated
 	poolSeq   int
 	creations []CreateStats
+
+	// Telemetry instruments, resolved once in New; all nil (no-op)
+	// when cfg.Telemetry is nil.
+	tel           *telemetry.Hub
+	mCreates      *telemetry.Counter
+	mCreateFails  *telemetry.Counter
+	mCollects     *telemetry.Counter
+	mMigrations   *telemetry.Counter
+	mPrecreateHit *telemetry.Counter
+	mImageHits    *telemetry.Counter
+	mImageMisses  *telemetry.Counter
+	mCloneBytes   *telemetry.Counter
+	mCloneLinks   *telemetry.Counter
+	gActiveVMs    *telemetry.Gauge
+	hCreateSecs   *telemetry.Histogram
+	hCloneSecs    *telemetry.Histogram
+	hConfigSecs   *telemetry.Histogram
 }
 
 // CreateStats records one successful creation's breakdown.
@@ -113,6 +137,7 @@ func New(name string, node *cluster.Node, wh *warehouse.Warehouse, cfg Config) *
 	if cfg.HostOnlyNetworks <= 0 {
 		cfg.HostOnlyNetworks = 4
 	}
+	tel := cfg.Telemetry
 	return &Plant{
 		name: name,
 		cfg:  cfg,
@@ -123,6 +148,21 @@ func New(name string, node *cluster.Node, wh *warehouse.Warehouse, cfg Config) *
 		info: NewInfoSystem(),
 		pool: make(map[string][]precreated),
 		rng:  node.RNG().Child(),
+
+		tel:           tel,
+		mCreates:      tel.Counter("plant.creations"),
+		mCreateFails:  tel.Counter("plant.create_failures"),
+		mCollects:     tel.Counter("plant.collections"),
+		mMigrations:   tel.Counter("plant.migrations"),
+		mPrecreateHit: tel.Counter("plant.precreate_hits"),
+		mImageHits:    tel.Counter("warehouse.image_hits"),
+		mImageMisses:  tel.Counter("warehouse.image_misses"),
+		mCloneBytes:   tel.Counter("vmm.clone_bytes_copied"),
+		mCloneLinks:   tel.Counter("vmm.clone_extents_linked"),
+		gActiveVMs:    tel.Gauge("plant.active_vms"),
+		hCreateSecs:   tel.Histogram("plant.create_secs"),
+		hCloneSecs:    tel.Histogram("plant.clone_secs"),
+		hConfigSecs:   tel.Histogram("plant.configure_secs"),
 	}
 }
 
@@ -142,8 +182,12 @@ func (pl *Plant) VMIDs() []core.VMID { return pl.info.IDs() }
 // to resolve a domain's switch).
 func (pl *Plant) Networks() *simnet.NetPool { return pl.nets }
 
-// CreationLog returns the accumulated per-creation statistics.
+// CreationLog returns a defensive copy of the accumulated per-creation
+// statistics, taken under the plant's mutex so concurrent observers
+// (debug endpoints, tests) never race with an in-flight creation.
 func (pl *Plant) CreationLog() []CreateStats {
+	pl.mu.Lock()
+	defer pl.mu.Unlock()
 	return append([]CreateStats(nil), pl.creations...)
 }
 
@@ -224,18 +268,42 @@ func (pl *Plant) plan(spec *core.Spec) (match.Ranked, error) {
 }
 
 // Create is the PPP's production order (Figure 2): match, clone,
-// configure, classad. The id is minted by the shop.
-func (pl *Plant) Create(p *sim.Proc, id core.VMID, spec *core.Spec) (*classad.Ad, error) {
+// configure, classad. The id is minted by the shop. The whole order is
+// traced as a "plant.create" span with "plan", "clone" and "configure"
+// children, so a trace reconstructs the paper's creation-time
+// decomposition in virtual time.
+func (pl *Plant) Create(p *sim.Proc, id core.VMID, spec *core.Spec) (_ *classad.Ad, err error) {
 	start := p.Now()
+	sp := pl.tel.T().Start(p, "plant.create").
+		Set("plant", pl.name).
+		Set("vmid", string(id))
+	defer func() {
+		sp.EndErr(p, err)
+		if err != nil {
+			pl.mCreateFails.Inc()
+		}
+	}()
 	if err := spec.Validate(); err != nil {
 		return nil, err
 	}
 	if pl.cfg.MaxVMs > 0 && pl.info.Count() >= pl.cfg.MaxVMs {
 		return nil, fmt.Errorf("plant %s: at VM capacity (%d)", pl.name, pl.cfg.MaxVMs)
 	}
+	planSp := sp.Child(p, "plan")
 	best, err := pl.plan(spec)
 	if err != nil {
+		planSp.EndErr(p, err)
+		pl.mImageMisses.Inc()
 		return nil, err
+	}
+	planSp.Set("golden", best.Candidate.ID).
+		SetInt("matched_ops", int64(len(best.Result.Matched))).
+		SetInt("residual_ops", int64(len(best.Result.Residual))).
+		End(p)
+	if len(best.Result.Matched) > 0 {
+		pl.mImageHits.Inc()
+	} else {
+		pl.mImageMisses.Inc()
 	}
 	golden, ok := pl.wh.Lookup(best.Candidate.ID)
 	if !ok {
@@ -258,17 +326,21 @@ func (pl *Plant) Create(p *sim.Proc, id core.VMID, spec *core.Spec) (*classad.Ad
 
 	// Clone — or resume a speculatively pre-created clone of the same
 	// golden image, paying only the resume instead of the state copy.
+	cloneSp := sp.Child(p, "clone").
+		Set("golden", golden.Name).
+		Set("backend", backend.Name())
+	cloneStart := p.Now()
 	var vm *vmm.VM
 	var cloneStats vmm.CloneStats
 	hit := false
 	if pre, ok := pl.takePrecreated(golden.Name); ok {
-		cloneStart := p.Now()
 		if err := pre.vm.Rebrand(id, spec.Name); err == nil {
 			if err := pre.vm.Resume(p); err == nil {
 				vm = pre.vm
 				cloneStats = pre.clone // off-critical-path cost, for the record
 				cloneStats.Total = p.Now() - cloneStart
 				hit = true
+				pl.mPrecreateHit.Inc()
 				// The pool's own image reference is superseded by the
 				// one this creation took above.
 				golden.Unref()
@@ -281,9 +353,13 @@ func (pl *Plant) Create(p *sim.Proc, id core.VMID, spec *core.Spec) (*classad.Ad
 		if err != nil {
 			releaseNet()
 			releaseRef()
-			return nil, fmt.Errorf("plant %s: clone: %w", pl.name, err)
+			cerr := fmt.Errorf("plant %s: clone: %w", pl.name, err)
+			cloneSp.EndErr(p, cerr)
+			return nil, cerr
 		}
 	}
+	pl.recordClone(cloneSp, cloneStart, cloneStats, backend.Name(), hit)
+	cloneSp.End(p)
 	if err := vm.AttachNIC(honet, pl.macs.Next()); err != nil {
 		vm.Collect(p)
 		releaseNet()
@@ -292,37 +368,76 @@ func (pl *Plant) Create(p *sim.Proc, id core.VMID, spec *core.Spec) (*classad.Ad
 	}
 
 	// Configure the residual sub-graph.
+	cfgSp := sp.Child(p, "configure").
+		SetInt("nodes", int64(len(best.Result.Residual)))
 	cfgStart := p.Now()
-	if err := pl.configure(p, vm, spec.Graph, best.Result.Residual); err != nil {
+	if err := pl.configure(p, vm, spec.Graph, best.Result.Residual, cfgSp); err != nil {
 		vm.Collect(p)
 		releaseNet()
 		releaseRef()
-		return nil, fmt.Errorf("plant %s: configure: %w", pl.name, err)
+		cerr := fmt.Errorf("plant %s: configure: %w", pl.name, err)
+		cfgSp.EndErr(p, cerr)
+		return nil, cerr
 	}
+	cfgSp.End(p)
 	cfgTime := p.Now() - cfgStart
 
 	// Classad for the information system and the client.
 	ad := pl.buildAd(p, id, spec, vm, golden, best, cloneStats)
 	pl.info.store(&record{vm: vm, ad: ad, domain: spec.Domain, golden: golden, createdAt: p.Now()})
+	total := p.Now() - start
+	pl.mu.Lock()
 	pl.creations = append(pl.creations, CreateStats{
 		VMID:         id,
 		MemoryMB:     spec.Hardware.MemoryMB,
 		Clone:        cloneStats,
 		ConfigTime:   cfgTime,
-		Total:        p.Now() - start,
+		Total:        total,
 		MatchedOps:   len(best.Result.Matched),
 		ResidualOps:  len(best.Result.Residual),
 		Golden:       golden.Name,
 		PrecreateHit: hit,
 	})
+	pl.mu.Unlock()
+	pl.mCreates.Inc()
+	pl.gActiveVMs.Set(int64(pl.info.Count()))
+	pl.hCreateSecs.Observe(total.Seconds())
+	pl.hCloneSecs.Observe(cloneStats.Total.Seconds())
+	pl.hConfigSecs.Observe(cfgTime.Seconds())
 	return ad.Clone(), nil
+}
+
+// recordClone decomposes the clone stage into "clone.copy" and
+// "clone.resume"/"clone.boot" child spans from the backend's measured
+// CloneStats, and feeds the byte counters. Phase spans are attached
+// retroactively because the vmm.Backend interface reports stage
+// timings rather than accepting a tracer.
+func (pl *Plant) recordClone(cloneSp *telemetry.Span, cloneStart time.Duration, cs vmm.CloneStats, backend string, hit bool) {
+	phase := "clone.resume" // vmware line: checkpoint resume
+	if backend == "uml" {
+		phase = "clone.boot" // uml line: fresh boot
+	}
+	if hit {
+		cloneSp.Set("precreate_hit", "true")
+		// Resume of a parked clone is the whole on-critical-path cost.
+		cloneSp.RecordChild(phase, cloneStart, cloneStart+cs.Total)
+	} else {
+		copyEnd := cloneStart + cs.CopyTime
+		cloneSp.RecordChild("clone.copy", cloneStart, copyEnd)
+		cloneSp.RecordChild(phase, copyEnd, copyEnd+cs.ResumeTime)
+	}
+	cloneSp.SetInt("bytes_copied", cs.CopiedBytes)
+	pl.mCloneBytes.Add(cs.CopiedBytes)
+	pl.mCloneLinks.Add(int64(cs.LinkedFiles))
 }
 
 // configure executes the residual plan: guest actions are delivered via
 // a configuration CD-ROM parsed by the guest agent, host actions run on
 // the production line directly. Error policies (retries, handler
-// sub-graphs, continue) follow the DAG's per-node declarations.
-func (pl *Plant) configure(p *sim.Proc, vm *vmm.VM, g *dag.Graph, residual []string) error {
+// sub-graphs, continue) follow the DAG's per-node declarations. Each
+// node executes under an "action" child span of parent (nil disables
+// tracing).
+func (pl *Plant) configure(p *sim.Proc, vm *vmm.VM, g *dag.Graph, residual []string, parent *telemetry.Span) error {
 	if len(residual) == 0 {
 		return nil
 	}
@@ -355,7 +470,12 @@ func (pl *Plant) configure(p *sim.Proc, vm *vmm.VM, g *dag.Graph, residual []str
 	}
 	for _, nid := range residual {
 		n, _ := g.Node(nid)
-		if err := pl.runWithPolicy(p, vm, n); err != nil {
+		asp := parent.Child(p, "action").
+			Set("node", nid).
+			Set("op", n.Action.Op)
+		err := pl.runWithPolicy(p, vm, n)
+		asp.EndErr(p, err)
+		if err != nil {
 			return fmt.Errorf("action %q (%s): %w", nid, n.Action.Op, err)
 		}
 	}
@@ -487,6 +607,8 @@ func (pl *Plant) Collect(p *sim.Proc, id core.VMID) error {
 		}
 	}
 	pl.info.remove(id)
+	pl.mCollects.Inc()
+	pl.gActiveVMs.Set(int64(pl.info.Count()))
 	return nil
 }
 
@@ -523,10 +645,22 @@ func (pl *Plant) ResumeVM(p *sim.Proc, id core.VMID) error {
 // network of the destination's matching domain, resume, and hand the
 // information-system record over. The VMID is preserved; the shop's
 // soft routing heals on its next query.
-func (pl *Plant) MigrateTo(p *sim.Proc, id core.VMID, dst *Plant) error {
+func (pl *Plant) MigrateTo(p *sim.Proc, id core.VMID, dst *Plant) (err error) {
 	if dst == pl {
 		return nil
 	}
+	sp := pl.tel.T().Start(p, "plant.migrate").
+		Set("plant", pl.name).
+		Set("dst", dst.name).
+		Set("vmid", string(id))
+	defer func() {
+		sp.EndErr(p, err)
+		if err == nil {
+			pl.mMigrations.Inc()
+			pl.gActiveVMs.Set(int64(pl.info.Count()))
+			dst.gActiveVMs.Set(int64(dst.info.Count()))
+		}
+	}()
 	r, ok := pl.info.get(id)
 	if !ok {
 		return fmt.Errorf("plant %s: no VM %s", pl.name, id)
@@ -573,6 +707,8 @@ func (pl *Plant) MigrateTo(p *sim.Proc, id core.VMID, dst *Plant) error {
 
 // takePrecreated pops a pooled clone of the named image.
 func (pl *Plant) takePrecreated(image string) (precreated, bool) {
+	pl.mu.Lock()
+	defer pl.mu.Unlock()
 	q := pl.pool[image]
 	if len(q) == 0 {
 		return precreated{}, false
@@ -583,14 +719,23 @@ func (pl *Plant) takePrecreated(image string) (precreated, bool) {
 }
 
 // PoolSize reports how many pre-created clones of the image are parked.
-func (pl *Plant) PoolSize(image string) int { return len(pl.pool[image]) }
+func (pl *Plant) PoolSize(image string) int {
+	pl.mu.Lock()
+	defer pl.mu.Unlock()
+	return len(pl.pool[image])
+}
 
 // Precreate speculatively clones the named golden image count times and
 // parks the clones suspended, so later matching requests resume them
 // instead of paying the state copy on the critical path (paper §4.3:
 // "latency-hiding optimizations such as speculative pre-creation of VMs
 // can be conceived"). It is meant to run during plant idle time.
-func (pl *Plant) Precreate(p *sim.Proc, image string, count int) error {
+func (pl *Plant) Precreate(p *sim.Proc, image string, count int) (err error) {
+	sp := pl.tel.T().Start(p, "plant.precreate").
+		Set("plant", pl.name).
+		Set("golden", image).
+		SetInt("count", int64(count))
+	defer func() { sp.EndErr(p, err) }()
 	golden, ok := pl.wh.Lookup(image)
 	if !ok {
 		return fmt.Errorf("plant %s: no golden image %q", pl.name, image)
@@ -600,8 +745,11 @@ func (pl *Plant) Precreate(p *sim.Proc, image string, count int) error {
 		return err
 	}
 	for i := 0; i < count; i++ {
+		pl.mu.Lock()
 		pl.poolSeq++
-		id := core.VMID(fmt.Sprintf("pre-%s-%d", pl.name, pl.poolSeq))
+		seq := pl.poolSeq
+		pl.mu.Unlock()
+		id := core.VMID(fmt.Sprintf("pre-%s-%d", pl.name, seq))
 		vm, cs, err := backend.Clone(p, pl.node, golden, id, pl.cfg.CloneMode)
 		if err != nil {
 			return fmt.Errorf("plant %s: precreate: %w", pl.name, err)
@@ -610,7 +758,11 @@ func (pl *Plant) Precreate(p *sim.Proc, image string, count int) error {
 			return fmt.Errorf("plant %s: precreate suspend: %w", pl.name, err)
 		}
 		golden.Ref() // the parked clone links into the image
+		pl.mCloneBytes.Add(cs.CopiedBytes)
+		pl.mCloneLinks.Add(int64(cs.LinkedFiles))
+		pl.mu.Lock()
 		pl.pool[image] = append(pl.pool[image], precreated{vm: vm, clone: cs})
+		pl.mu.Unlock()
 	}
 	return nil
 }

@@ -1,0 +1,178 @@
+package plant
+
+import (
+	"sync"
+	"testing"
+
+	"vmplants/internal/core"
+	"vmplants/internal/sim"
+	"vmplants/internal/telemetry"
+)
+
+// TestCreateTraceDecomposesStages is the e2e trace assertion: one
+// Plant.Create leaves a "plant.create" root span whose children
+// reconstruct the creation pipeline — plan, clone (with its copy/resume
+// phases), configure — and exactly one "action" span per executed DAG
+// node, in topological (residual plan) order.
+func TestCreateTraceDecomposesStages(t *testing.T) {
+	hub := telemetry.New()
+	r := newRig(t, Config{Telemetry: hub})
+	r.run(t, func(p *sim.Proc) {
+		if _, err := r.pl.Create(p, "vm-t-1", spec(t, "grace")); err != nil {
+			t.Fatal(err)
+		}
+	})
+
+	spans := hub.Tracer.Spans()
+	byName := make(map[string][]telemetry.Span)
+	for _, s := range spans {
+		byName[s.Name] = append(byName[s.Name], s)
+	}
+
+	roots := byName["plant.create"]
+	if len(roots) != 1 {
+		t.Fatalf("got %d plant.create spans, want 1", len(roots))
+	}
+	root := roots[0]
+	if root.Err != "" {
+		t.Fatalf("root span failed: %s", root.Err)
+	}
+	if root.Attr("vmid") != "vm-t-1" || root.Attr("plant") != "node00" {
+		t.Fatalf("root attrs = %v", root.Attrs)
+	}
+
+	for _, stage := range []string{"plan", "clone", "configure"} {
+		ss := byName[stage]
+		if len(ss) != 1 {
+			t.Fatalf("got %d %q spans, want 1", len(ss), stage)
+		}
+		if ss[0].Parent != root.ID {
+			t.Fatalf("%q span parent = %d, want root %d", stage, ss[0].Parent, root.ID)
+		}
+	}
+	// The golden image covers os+vnc, so the plan matched 2 ops and left
+	// a 2-node residual.
+	plan := byName["plan"][0]
+	if plan.Attr("matched_ops") != "2" || plan.Attr("residual_ops") != "2" {
+		t.Fatalf("plan attrs = %v", plan.Attrs)
+	}
+
+	// Clone decomposition: vmware clones are a state copy plus a
+	// checkpoint resume, and the phases tile the clone span's virtual
+	// interval.
+	clone := byName["clone"][0]
+	cp, res := byName["clone.copy"], byName["clone.resume"]
+	if len(cp) != 1 || len(res) != 1 {
+		t.Fatalf("got %d clone.copy and %d clone.resume spans, want 1 each", len(cp), len(res))
+	}
+	if cp[0].Parent != clone.ID || res[0].Parent != clone.ID {
+		t.Fatal("clone phases must be children of the clone span")
+	}
+	if cp[0].VStart != clone.VStart || cp[0].VEnd != res[0].VStart {
+		t.Fatalf("clone phases do not tile: copy [%v, %v], resume starts %v",
+			cp[0].VStart, cp[0].VEnd, res[0].VStart)
+	}
+	if cp[0].Virtual() <= 0 || res[0].Virtual() <= 0 {
+		t.Fatal("clone phases must take virtual time")
+	}
+
+	// One "action" span per executed residual node, in topological
+	// order, parented under "configure".
+	cfg := byName["configure"][0]
+	actionSpans := byName["action"]
+	wantNodes := []string{"net", "user"} // residual after os+vnc matched
+	if len(actionSpans) != len(wantNodes) {
+		t.Fatalf("got %d action spans, want %d", len(actionSpans), len(wantNodes))
+	}
+	for i, as := range actionSpans {
+		if as.Parent != cfg.ID {
+			t.Fatalf("action %d parent = %d, want configure %d", i, as.Parent, cfg.ID)
+		}
+		if as.Attr("node") != wantNodes[i] {
+			t.Fatalf("action[%d] node = %q, want %q (topological order)", i, as.Attr("node"), wantNodes[i])
+		}
+		if as.VStart < cfg.VStart || as.Virtual() <= 0 {
+			t.Fatalf("action[%d] interval [%v, %v] outside configure", i, as.VStart, as.VEnd)
+		}
+	}
+	// Spans publish in end order, so consecutive actions must not
+	// overlap in virtual time.
+	if actionSpans[0].VEnd > actionSpans[1].VStart {
+		t.Fatalf("actions overlap: %v > %v", actionSpans[0].VEnd, actionSpans[1].VStart)
+	}
+}
+
+// TestCreateMetrics checks the counters and histograms a creation run
+// feeds.
+func TestCreateMetrics(t *testing.T) {
+	hub := telemetry.New()
+	r := newRig(t, Config{Telemetry: hub})
+	r.run(t, func(p *sim.Proc) {
+		for i, user := range []string{"ada", "bob"} {
+			id := core.VMID(rune('a' + i))
+			if _, err := r.pl.Create(p, "vm-m-"+id, spec(t, user)); err != nil {
+				t.Fatal(err)
+			}
+		}
+	})
+	m := hub.Metrics
+	if got := m.Counter("plant.creations").Value(); got != 2 {
+		t.Fatalf("plant.creations = %d, want 2", got)
+	}
+	if got := m.Counter("warehouse.image_hits").Value(); got != 2 {
+		t.Fatalf("warehouse.image_hits = %d, want 2", got)
+	}
+	if got := m.Gauge("plant.active_vms").Value(); got != 2 {
+		t.Fatalf("plant.active_vms = %d, want 2", got)
+	}
+	if got := m.Counter("vmm.clone_bytes_copied").Value(); got <= 0 {
+		t.Fatalf("vmm.clone_bytes_copied = %d, want > 0", got)
+	}
+	if got := m.Histogram("plant.create_secs").Count(); got != 2 {
+		t.Fatalf("plant.create_secs count = %d, want 2", got)
+	}
+	if s := m.Histogram("plant.create_secs").Snapshot(); s.Mean <= 0 {
+		t.Fatalf("plant.create_secs mean = %v, want > 0", s.Mean)
+	}
+	// Kernel instruments fed through the same hub.
+	r.k.SetTelemetry(hub)
+	r.run(t, func(p *sim.Proc) { p.Sleep(sim.Seconds(1)) })
+	if got := m.Counter("sim.events_dispatched").Value(); got <= 0 {
+		t.Fatalf("sim.events_dispatched = %d, want > 0", got)
+	}
+}
+
+// TestCreationLogConcurrentReads exercises the S1 fix: CreationLog must
+// be safe to call from outside the kernel while creations are appending
+// (run with -race).
+func TestCreationLogConcurrentReads(t *testing.T) {
+	r := newRig(t, Config{})
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+				r.pl.CreationLog()
+				r.pl.PoolSize("ws-golden")
+			}
+		}
+	}()
+	r.run(t, func(p *sim.Proc) {
+		for i, user := range []string{"u1", "u2", "u3"} {
+			id := core.VMID(rune('0' + i))
+			if _, err := r.pl.Create(p, "vm-c-"+id, spec(t, user)); err != nil {
+				t.Fatal(err)
+			}
+		}
+	})
+	close(stop)
+	wg.Wait()
+	if got := len(r.pl.CreationLog()); got != 3 {
+		t.Fatalf("creation log has %d entries, want 3", got)
+	}
+}

@@ -5,6 +5,8 @@ import (
 	"net"
 	"sync"
 	"time"
+
+	"vmplants/internal/telemetry"
 )
 
 // Client is a request/response connection to a VMPlants service. It is
@@ -13,9 +15,15 @@ import (
 type Client struct {
 	mu   sync.Mutex
 	conn net.Conn
+	addr string // remote address, for error attribution
 	seq  uint64
 	// Timeout bounds each round trip (0 = no deadline).
 	Timeout time.Duration
+
+	// Telemetry instruments (nil-safe no-ops when unset).
+	mCalls  *telemetry.Counter
+	mErrors *telemetry.Counter
+	hSecs   *telemetry.Histogram
 }
 
 // Dial connects to a service endpoint.
@@ -25,17 +33,58 @@ func Dial(addr string, timeout time.Duration) (*Client, error) {
 	if err != nil {
 		return nil, fmt.Errorf("proto: dial %s: %w", addr, err)
 	}
-	return &Client{conn: conn, Timeout: timeout}, nil
+	return &Client{conn: conn, addr: addr, Timeout: timeout}, nil
 }
 
 // NewClient wraps an existing connection.
-func NewClient(conn net.Conn) *Client { return &Client{conn: conn} }
+func NewClient(conn net.Conn) *Client {
+	c := &Client{conn: conn}
+	if ra := conn.RemoteAddr(); ra != nil {
+		c.addr = ra.String()
+	}
+	return c
+}
+
+// SetTelemetry wires the client's RPC instruments: call and error
+// counters ("proto.rpc_calls", "proto.rpc_errors") and the wall-clock
+// round-trip histogram ("proto.rpc_secs"). Passing nil detaches them.
+func (c *Client) SetTelemetry(h *telemetry.Hub) {
+	c.mCalls = h.Counter("proto.rpc_calls")
+	c.mErrors = h.Counter("proto.rpc_errors")
+	c.hSecs = h.Histogram("proto.rpc_secs")
+}
+
+// RemoteAddr reports the peer's address ("" when unknown).
+func (c *Client) RemoteAddr() string { return c.addr }
 
 // Call sends m (stamping its Seq) and returns the response. A response
-// whose Seq does not match is a protocol error.
+// whose Seq does not match is a protocol error. Errors carry the method
+// (message kind) and remote address, so a failed RPC is attributable
+// from the error text alone.
 func (c *Client) Call(m *Message) (*Message, error) {
+	resp, err := c.call(m)
+	if err != nil {
+		c.mErrors.Inc()
+		return nil, fmt.Errorf("proto: rpc %s to %s: %w", m.Kind, c.addrLabel(), err)
+	}
+	return resp, nil
+}
+
+func (c *Client) addrLabel() string {
+	if c.addr == "" {
+		return "<unknown>"
+	}
+	return c.addr
+}
+
+func (c *Client) call(m *Message) (*Message, error) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
+	start := time.Now()
+	defer func() {
+		c.mCalls.Inc()
+		c.hSecs.Observe(time.Since(start).Seconds())
+	}()
 	c.seq++
 	m.Seq = c.seq
 	if c.Timeout > 0 {
@@ -49,10 +98,10 @@ func (c *Client) Call(m *Message) (*Message, error) {
 		return nil, err
 	}
 	if resp.Seq != m.Seq {
-		return nil, fmt.Errorf("proto: response seq %d for request %d", resp.Seq, m.Seq)
+		return nil, fmt.Errorf("response seq %d for request %d", resp.Seq, m.Seq)
 	}
 	if resp.Kind == KindError {
-		return nil, fmt.Errorf("proto: remote error %s: %s", resp.Err.Code, resp.Err.Detail)
+		return nil, fmt.Errorf("remote error %s: %s", resp.Err.Code, resp.Err.Detail)
 	}
 	return resp, nil
 }

@@ -1,0 +1,72 @@
+package proto
+
+import (
+	"net"
+	"strings"
+	"testing"
+
+	"vmplants/internal/telemetry"
+)
+
+// startErrServer serves a handler that answers every request with a
+// NOT_FOUND error.
+func startErrServer(t *testing.T) net.Listener {
+	t.Helper()
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { l.Close() })
+	go Serve(l, func(req *Message) *Message {
+		return Errorf(req.Seq, CodeNotFound, "no such VM")
+	})
+	return l
+}
+
+// TestCallErrorsAreAttributable checks the S2 fix: an RPC error names
+// the method (message kind) and the remote address.
+func TestCallErrorsAreAttributable(t *testing.T) {
+	l := startErrServer(t)
+	c, err := Dial(l.Addr().String(), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	if got := c.RemoteAddr(); got != l.Addr().String() {
+		t.Fatalf("RemoteAddr = %q, want %q", got, l.Addr().String())
+	}
+	_, err = c.Call(&Message{Kind: KindQueryRequest, Query: &QueryRequest{VMID: "vm-x"}})
+	if err == nil {
+		t.Fatal("expected error")
+	}
+	msg := err.Error()
+	for _, want := range []string{string(KindQueryRequest), l.Addr().String(), string(CodeNotFound), "no such VM"} {
+		if !strings.Contains(msg, want) {
+			t.Fatalf("error %q does not mention %q", msg, want)
+		}
+	}
+}
+
+// TestCallTelemetry checks the RPC client's instruments.
+func TestCallTelemetry(t *testing.T) {
+	l := startErrServer(t)
+	c, err := Dial(l.Addr().String(), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	hub := telemetry.New()
+	c.SetTelemetry(hub)
+	for i := 0; i < 3; i++ {
+		c.Call(&Message{Kind: KindQueryRequest, Query: &QueryRequest{VMID: "vm-x"}})
+	}
+	if got := hub.Metrics.Counter("proto.rpc_calls").Value(); got != 3 {
+		t.Fatalf("proto.rpc_calls = %d, want 3", got)
+	}
+	if got := hub.Metrics.Counter("proto.rpc_errors").Value(); got != 3 {
+		t.Fatalf("proto.rpc_errors = %d, want 3", got)
+	}
+	if got := hub.Metrics.Histogram("proto.rpc_secs").Count(); got != 3 {
+		t.Fatalf("proto.rpc_secs count = %d, want 3", got)
+	}
+}

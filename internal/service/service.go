@@ -23,6 +23,7 @@ import (
 	"vmplants/internal/registry"
 	"vmplants/internal/shop"
 	"vmplants/internal/sim"
+	"vmplants/internal/telemetry"
 )
 
 // Runner serializes operations on one simulation kernel so concurrent
@@ -157,6 +158,8 @@ type RemotePlant struct {
 	PlantName string
 	Addr      string
 	Timeout   time.Duration
+	// Telemetry instruments each dialed connection's RPCs; nil disables.
+	Telemetry *telemetry.Hub
 }
 
 // Name implements shop.PlantHandle.
@@ -172,6 +175,7 @@ func (rp *RemotePlant) call(m *proto.Message) (*proto.Message, error) {
 		return nil, fmt.Errorf("%w: %v", shop.ErrPlantDown, err)
 	}
 	defer c.Close()
+	c.SetTelemetry(rp.Telemetry)
 	resp, err := c.Call(m)
 	if err != nil {
 		return nil, err

@@ -13,11 +13,14 @@ package shop
 import (
 	"errors"
 	"fmt"
+	"sync"
+	"sync/atomic"
 
 	"vmplants/internal/classad"
 	"vmplants/internal/core"
 	"vmplants/internal/proto"
 	"vmplants/internal/sim"
+	"vmplants/internal/telemetry"
 )
 
 // Shop is one VMShop instance.
@@ -26,7 +29,9 @@ type Shop struct {
 	plants []PlantHandle
 	rng    *sim.RNG
 
-	nextID uint64
+	// nextID is atomic so concurrent Create calls (e.g. from the RPC
+	// server's per-connection handlers) never mint duplicate VMIDs.
+	nextID atomic.Uint64
 	routes map[core.VMID]PlantHandle // soft state
 	cache  map[core.VMID]*classad.Ad // optional classad cache (speeds queries)
 
@@ -34,7 +39,17 @@ type Shop struct {
 	// cache classad information … to speed up queries").
 	CacheAds bool
 
+	// mu guards the bid audit log, which out-of-kernel observers (debug
+	// endpoints, tests) read while creations append to it.
+	mu   sync.Mutex
 	bids []BidRecord // audit log for experiments
+
+	// Telemetry instruments (nil-safe no-ops when unset).
+	tel          *telemetry.Hub
+	mCreates     *telemetry.Counter
+	mCreateFails *telemetry.Counter
+	mBidRounds   *telemetry.Counter
+	hCreateSecs  *telemetry.Histogram
 }
 
 // BidRecord is one bidding round's outcome.
@@ -62,23 +77,59 @@ func (s *Shop) Name() string { return s.name }
 // Plants returns the managed plant handles.
 func (s *Shop) Plants() []PlantHandle { return append([]PlantHandle(nil), s.plants...) }
 
-// Bids returns the audit log of bidding rounds.
-func (s *Shop) Bids() []BidRecord { return append([]BidRecord(nil), s.bids...) }
+// Bids returns a defensive copy of the audit log of bidding rounds,
+// taken under the shop's mutex.
+func (s *Shop) Bids() []BidRecord {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return append([]BidRecord(nil), s.bids...)
+}
+
+// logBid appends one bidding round to the audit log.
+func (s *Shop) logBid(rec BidRecord) {
+	s.mu.Lock()
+	s.bids = append(s.bids, rec)
+	s.mu.Unlock()
+}
+
+// SetTelemetry wires the shop's spans ("shop.create", "shop.bid") and
+// metrics ("shop.creations", "shop.create_failures", "shop.bid_rounds",
+// "shop.create_secs"). Passing nil detaches them.
+func (s *Shop) SetTelemetry(h *telemetry.Hub) {
+	s.tel = h
+	s.mCreates = h.Counter("shop.creations")
+	s.mCreateFails = h.Counter("shop.create_failures")
+	s.mBidRounds = h.Counter("shop.bid_rounds")
+	s.hCreateSecs = h.Histogram("shop.create_secs")
+}
 
 // mintID assigns the next VMID (paper: "a VMShop-assigned unique
-// identifier for the virtual machine (VMID)").
+// identifier for the virtual machine (VMID)"). Safe under concurrent
+// Create calls.
 func (s *Shop) mintID() core.VMID {
-	s.nextID++
-	return core.VMID(fmt.Sprintf("vm-%s-%d", s.name, s.nextID))
+	return core.VMID(fmt.Sprintf("vm-%s-%d", s.name, s.nextID.Add(1)))
 }
 
 // Create runs one full creation: validate, collect bids, pick the
 // winner, dispatch, and return the VMID with the classad.
-func (s *Shop) Create(p *sim.Proc, spec *core.Spec) (core.VMID, *classad.Ad, error) {
+func (s *Shop) Create(p *sim.Proc, spec *core.Spec) (_ core.VMID, _ *classad.Ad, err error) {
 	if err := spec.Validate(); err != nil {
 		return "", nil, err
 	}
 	id := s.mintID()
+	start := p.Now()
+	sp := s.tel.T().Start(p, "shop.create").
+		Set("shop", s.name).
+		Set("vmid", string(id))
+	defer func() {
+		sp.EndErr(p, err)
+		if err != nil {
+			s.mCreateFails.Inc()
+		} else {
+			s.mCreates.Inc()
+			s.hCreateSecs.Observe((p.Now() - start).Seconds())
+		}
+	}()
 	candidates := append([]PlantHandle(nil), s.plants...)
 	rec := BidRecord{VMID: id, Costs: make(map[string]core.Cost)}
 
@@ -88,6 +139,9 @@ func (s *Shop) Create(p *sim.Proc, spec *core.Spec) (core.VMID, *classad.Ad, err
 	}
 	for len(candidates) > 0 {
 		// Bidding round: ask every remaining plant for an estimate.
+		s.mBidRounds.Inc()
+		bidSp := sp.Child(p, "shop.bid").
+			SetInt("candidates", int64(len(candidates)))
 		type bid struct {
 			h PlantHandle
 			c core.Cost
@@ -107,8 +161,9 @@ func (s *Shop) Create(p *sim.Proc, spec *core.Spec) (core.VMID, *classad.Ad, err
 			rec.Costs[h.Name()] = c
 			feasible = append(feasible, bid{h, c})
 		}
+		bidSp.SetInt("feasible", int64(len(feasible))).End(p)
 		if len(feasible) == 0 {
-			s.bids = append(s.bids, rec)
+			s.logBid(rec)
 			return "", nil, fmt.Errorf("shop %s: no plant can satisfy the request", s.name)
 		}
 		// Lowest bid wins; ties broken uniformly at random ("The VMShop
@@ -130,11 +185,12 @@ func (s *Shop) Create(p *sim.Proc, spec *core.Spec) (core.VMID, *classad.Ad, err
 		ad, err := winner.Create(p, id, spec)
 		if err == nil {
 			rec.Winner = winner.Name()
-			s.bids = append(s.bids, rec)
+			s.logBid(rec)
 			s.routes[id] = winner
 			if s.CacheAds {
 				s.cache[id] = ad.Clone()
 			}
+			sp.Set("winner", winner.Name())
 			return id, ad, nil
 		}
 		if !errors.Is(err, ErrPlantDown) {
@@ -142,12 +198,12 @@ func (s *Shop) Create(p *sim.Proc, spec *core.Spec) (core.VMID, *classad.Ad, err
 			// action whose error policy aborted) is the request's
 			// outcome, reported to the client; only transport failures
 			// trigger a re-bid among the surviving plants.
-			s.bids = append(s.bids, rec)
+			s.logBid(rec)
 			return "", nil, fmt.Errorf("shop %s: plant %s: %w", s.name, winner.Name(), err)
 		}
 		candidates = without(candidates, winner)
 	}
-	s.bids = append(s.bids, rec)
+	s.logBid(rec)
 	return "", nil, fmt.Errorf("shop %s: every feasible plant failed to create the VM", s.name)
 }
 

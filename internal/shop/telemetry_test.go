@@ -1,0 +1,120 @@
+package shop
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+
+	"vmplants/internal/plant"
+	"vmplants/internal/sim"
+	"vmplants/internal/telemetry"
+)
+
+// TestShopTelemetry checks that a traced shop creation leaves a
+// "shop.create" span with its bidding round recorded, and feeds the
+// shop's counters.
+func TestShopTelemetry(t *testing.T) {
+	hub := telemetry.New()
+	d := newDeployment(t, 3, plant.Config{MaxVMs: 32})
+	d.shop.SetTelemetry(hub)
+	d.run(t, func(p *sim.Proc) {
+		if _, _, err := d.shop.Create(p, wsSpec(t, "tina", "ufl.edu")); err != nil {
+			t.Fatal(err)
+		}
+	})
+
+	var root, bid *telemetry.Span
+	for _, s := range hub.Tracer.Spans() {
+		s := s
+		switch s.Name {
+		case "shop.create":
+			root = &s
+		case "shop.bid":
+			bid = &s
+		}
+	}
+	if root == nil || bid == nil {
+		t.Fatal("missing shop.create or shop.bid span")
+	}
+	if root.Err != "" {
+		t.Fatalf("shop.create failed: %s", root.Err)
+	}
+	if root.Attr("winner") == "" {
+		t.Fatal("shop.create span has no winner")
+	}
+	if bid.Parent != root.ID || bid.Attr("feasible") != "3" {
+		t.Fatalf("bid span: parent=%d attrs=%v", bid.Parent, bid.Attrs)
+	}
+	if got := hub.Metrics.Counter("shop.creations").Value(); got != 1 {
+		t.Fatalf("shop.creations = %d, want 1", got)
+	}
+	if got := hub.Metrics.Counter("shop.bid_rounds").Value(); got != 1 {
+		t.Fatalf("shop.bid_rounds = %d, want 1", got)
+	}
+	if got := hub.Metrics.Histogram("shop.create_secs").Count(); got != 1 {
+		t.Fatalf("shop.create_secs count = %d, want 1", got)
+	}
+}
+
+// TestBidsConcurrentReads exercises the S1 fix: Bids must return a
+// defensive copy taken under the shop's mutex while creations append
+// to the audit log (run with -race).
+func TestBidsConcurrentReads(t *testing.T) {
+	d := newDeployment(t, 2, plant.Config{MaxVMs: 32})
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+				d.shop.Bids()
+			}
+		}
+	}()
+	d.run(t, func(p *sim.Proc) {
+		for i := 0; i < 3; i++ {
+			if _, _, err := d.shop.Create(p, wsSpec(t, fmt.Sprintf("w%d", i), "ufl.edu")); err != nil {
+				t.Fatal(err)
+			}
+		}
+	})
+	close(stop)
+	wg.Wait()
+	if got := len(d.shop.Bids()); got != 3 {
+		t.Fatalf("bid log has %d rounds, want 3", got)
+	}
+}
+
+// TestMintIDConcurrent checks VMIDs stay unique under concurrent
+// minting (the S1 atomic fix).
+func TestMintIDConcurrent(t *testing.T) {
+	s := New("shop", nil, 1)
+	const workers, per = 8, 100
+	ids := make(chan string, workers*per)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < per; i++ {
+				ids <- string(s.mintID())
+			}
+		}()
+	}
+	wg.Wait()
+	close(ids)
+	seen := make(map[string]bool)
+	for id := range ids {
+		if seen[id] {
+			t.Fatalf("duplicate VMID %s", id)
+		}
+		seen[id] = true
+	}
+	if len(seen) != workers*per {
+		t.Fatalf("minted %d unique IDs, want %d", len(seen), workers*per)
+	}
+}

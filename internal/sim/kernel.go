@@ -18,6 +18,8 @@ import (
 	"math"
 	"sort"
 	"time"
+
+	"vmplants/internal/telemetry"
 )
 
 // event is a scheduled resumption of a process at a virtual time.
@@ -72,6 +74,11 @@ type Kernel struct {
 	nextID     int64
 	running    bool
 	yielded    chan struct{}
+
+	// Telemetry instruments (nil-safe no-ops when unset).
+	gQueueDepth *telemetry.Gauge
+	gQueueMax   *telemetry.Gauge
+	cEvents     *telemetry.Counter
 }
 
 // NewKernel returns an empty simulation at virtual time zero.
@@ -84,6 +91,22 @@ func NewKernel() *Kernel {
 
 // Now reports the current virtual time as an offset from simulation start.
 func (k *Kernel) Now() time.Duration { return k.now }
+
+// QueueDepth reports how many events are pending.
+func (k *Kernel) QueueDepth() int { return k.queue.Len() }
+
+// Dispatched reports events dispatched over the kernel's life.
+func (k *Kernel) Dispatched() uint64 { return k.dispatched }
+
+// SetTelemetry wires the kernel's instruments: the event-queue depth
+// gauge ("sim.queue_depth", with "sim.queue_depth_max" as high-water
+// mark) and the dispatched-event counter ("sim.events_dispatched").
+// Passing nil detaches them.
+func (k *Kernel) SetTelemetry(h *telemetry.Hub) {
+	k.gQueueDepth = h.Gauge("sim.queue_depth")
+	k.gQueueMax = h.Gauge("sim.queue_depth_max")
+	k.cEvents = h.Counter("sim.events_dispatched")
+}
 
 // ProcState describes the lifecycle of a simulation process.
 type ProcState int
@@ -251,6 +274,10 @@ func (k *Kernel) Run(until time.Duration) RunResult {
 			k.now = e.at
 		}
 		k.dispatched++
+		k.cEvents.Add(1)
+		depth := int64(k.queue.Len())
+		k.gQueueDepth.Set(depth)
+		k.gQueueMax.SetMax(depth)
 		e.proc.resume <- struct{}{}
 		<-k.yielded
 	}

@@ -1,0 +1,114 @@
+package telemetry
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"strconv"
+	"time"
+)
+
+// SpanRecord is the JSON shape of one exported span — the line format
+// of the JSONL trace export and of /debug/traces.
+type SpanRecord struct {
+	ID     uint64            `json:"id"`
+	Parent uint64            `json:"parent,omitempty"`
+	Name   string            `json:"name"`
+	VStart float64           `json:"vstart"` // virtual start, seconds
+	VSecs  float64           `json:"vsecs"`  // virtual duration, seconds
+	WStart string            `json:"wstart,omitempty"`
+	WSecs  float64           `json:"wsecs"` // wall duration, seconds
+	Attrs  map[string]string `json:"attrs,omitempty"`
+	Err    string            `json:"err,omitempty"`
+}
+
+// Record converts a span to its export shape.
+func (s Span) Record() SpanRecord {
+	r := SpanRecord{
+		ID:     s.ID,
+		Parent: s.Parent,
+		Name:   s.Name,
+		VStart: s.VStart.Seconds(),
+		VSecs:  s.Virtual().Seconds(),
+		WSecs:  s.Wall().Seconds(),
+		Err:    s.Err,
+	}
+	if !s.WStart.IsZero() {
+		r.WStart = s.WStart.Format(time.RFC3339Nano)
+	}
+	if len(s.Attrs) > 0 {
+		r.Attrs = make(map[string]string, len(s.Attrs))
+		for _, a := range s.Attrs {
+			r.Attrs[a.Key] = a.Value
+		}
+	}
+	return r
+}
+
+// WriteJSONL writes every finished span as one JSON document per line,
+// oldest first — the trace export vmbench consumes.
+func (t *Tracer) WriteJSONL(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	for _, s := range t.Spans() {
+		if err := enc.Encode(s.Record()); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// HTTPHandler serves the hub's debug endpoints:
+//
+//	GET /metrics              expvar-compatible JSON of every instrument
+//	GET /debug/traces         finished spans as JSONL (?limit=N for the
+//	                          most recent N, ?name=prefix to filter)
+func (h *Hub) HTTPHandler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		enc.Encode(h.M().Snapshot())
+	})
+	mux.HandleFunc("/debug/traces", func(w http.ResponseWriter, req *http.Request) {
+		spans := h.T().Spans()
+		if v := req.URL.Query().Get("limit"); v != "" {
+			n, err := strconv.Atoi(v)
+			if err != nil || n < 0 {
+				http.Error(w, fmt.Sprintf("bad limit %q", v), http.StatusBadRequest)
+				return
+			}
+			if n < len(spans) {
+				spans = spans[len(spans)-n:]
+			}
+		}
+		name := req.URL.Query().Get("name")
+		w.Header().Set("Content-Type", "application/jsonl")
+		enc := json.NewEncoder(w)
+		for _, s := range spans {
+			if name != "" && !hasPrefix(s.Name, name) {
+				continue
+			}
+			enc.Encode(s.Record())
+		}
+	})
+	return mux
+}
+
+func hasPrefix(s, prefix string) bool {
+	return len(s) >= len(prefix) && s[:len(prefix)] == prefix
+}
+
+// ServeDebug starts the hub's debug HTTP server on addr in a background
+// goroutine and returns the bound address (useful with ":0"). The
+// listener lives until the process exits.
+func (h *Hub) ServeDebug(addr string) (string, error) {
+	l, err := net.Listen("tcp", addr)
+	if err != nil {
+		return "", fmt.Errorf("telemetry: debug listen %s: %w", addr, err)
+	}
+	go http.Serve(l, h.HTTPHandler())
+	return l.Addr().String(), nil
+}

@@ -1,0 +1,245 @@
+package telemetry
+
+import (
+	"sync"
+	"sync/atomic"
+
+	"vmplants/internal/stats"
+)
+
+// Counter is a monotonically increasing metric with an atomic hot path.
+// A nil *Counter accepts every call as a no-op.
+type Counter struct {
+	v atomic.Int64
+}
+
+// Add increments the counter by d.
+func (c *Counter) Add(d int64) {
+	if c == nil {
+		return
+	}
+	c.v.Add(d)
+}
+
+// Inc increments the counter by one.
+func (c *Counter) Inc() { c.Add(1) }
+
+// Value reports the current count.
+func (c *Counter) Value() int64 {
+	if c == nil {
+		return 0
+	}
+	return c.v.Load()
+}
+
+// Gauge is a settable instantaneous value. A nil *Gauge accepts every
+// call as a no-op.
+type Gauge struct {
+	v atomic.Int64
+}
+
+// Set stores v.
+func (g *Gauge) Set(v int64) {
+	if g == nil {
+		return
+	}
+	g.v.Store(v)
+}
+
+// SetMax raises the gauge to v if v exceeds the current value — a
+// high-water mark.
+func (g *Gauge) SetMax(v int64) {
+	if g == nil {
+		return
+	}
+	for {
+		cur := g.v.Load()
+		if v <= cur || g.v.CompareAndSwap(cur, v) {
+			return
+		}
+	}
+}
+
+// Value reports the current value.
+func (g *Gauge) Value() int64 {
+	if g == nil {
+		return 0
+	}
+	return g.v.Load()
+}
+
+// DefaultHistogramLimit bounds each histogram's retained sample window.
+const DefaultHistogramLimit = 1 << 16
+
+// Histogram records a stream of float64 observations and snapshots them
+// with the same summary statistics the benchmark harness uses
+// (stats.Summarize). Once the retention limit is reached, the oldest
+// samples are overwritten (a sliding window). A nil *Histogram accepts
+// every call as a no-op.
+type Histogram struct {
+	mu      sync.Mutex
+	samples []float64
+	next    int   // overwrite position once the window is full
+	count   int64 // total observations, including overwritten ones
+	sum     float64
+	limit   int
+}
+
+// Observe records one sample.
+func (h *Histogram) Observe(v float64) {
+	if h == nil {
+		return
+	}
+	h.mu.Lock()
+	h.count++
+	h.sum += v
+	if len(h.samples) < h.limit {
+		h.samples = append(h.samples, v)
+	} else {
+		h.samples[h.next] = v
+		h.next = (h.next + 1) % h.limit
+	}
+	h.mu.Unlock()
+}
+
+// Snapshot summarizes the retained sample window. The result is exactly
+// stats.Summarize over the retained samples.
+func (h *Histogram) Snapshot() stats.Summary {
+	if h == nil {
+		return stats.Summary{}
+	}
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return stats.Summarize(h.samples)
+}
+
+// Count reports total observations, including any that slid out of the
+// retention window.
+func (h *Histogram) Count() int64 {
+	if h == nil {
+		return 0
+	}
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return h.count
+}
+
+// Sum reports the running sum of all observations.
+func (h *Histogram) Sum() float64 {
+	if h == nil {
+		return 0
+	}
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return h.sum
+}
+
+// Registry is a named collection of counters, gauges and histograms.
+// Lookups get-or-create under a mutex; callers on hot paths should
+// resolve their instruments once and hold the pointers. A nil *Registry
+// resolves every name to a nil (no-op) instrument.
+type Registry struct {
+	mu       sync.Mutex
+	counters map[string]*Counter
+	gauges   map[string]*Gauge
+	hists    map[string]*Histogram
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{
+		counters: make(map[string]*Counter),
+		gauges:   make(map[string]*Gauge),
+		hists:    make(map[string]*Histogram),
+	}
+}
+
+// Counter resolves (creating if needed) the named counter.
+func (r *Registry) Counter(name string) *Counter {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	c, ok := r.counters[name]
+	if !ok {
+		c = &Counter{}
+		r.counters[name] = c
+	}
+	return c
+}
+
+// Gauge resolves (creating if needed) the named gauge.
+func (r *Registry) Gauge(name string) *Gauge {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	g, ok := r.gauges[name]
+	if !ok {
+		g = &Gauge{}
+		r.gauges[name] = g
+	}
+	return g
+}
+
+// Histogram resolves (creating if needed) the named histogram.
+func (r *Registry) Histogram(name string) *Histogram {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	h, ok := r.hists[name]
+	if !ok {
+		h = &Histogram{limit: DefaultHistogramLimit}
+		r.hists[name] = h
+	}
+	return h
+}
+
+// Snapshot renders every instrument into a JSON-ready map: counters and
+// gauges as integers, histograms as {count, mean, p50, p90, p99, max}
+// objects — the expvar-style document /metrics serves.
+func (r *Registry) Snapshot() map[string]any {
+	out := make(map[string]any)
+	if r == nil {
+		return out
+	}
+	r.mu.Lock()
+	counters := make(map[string]*Counter, len(r.counters))
+	for k, v := range r.counters {
+		counters[k] = v
+	}
+	gauges := make(map[string]*Gauge, len(r.gauges))
+	for k, v := range r.gauges {
+		gauges[k] = v
+	}
+	hists := make(map[string]*Histogram, len(r.hists))
+	for k, v := range r.hists {
+		hists[k] = v
+	}
+	r.mu.Unlock()
+
+	for name, c := range counters {
+		out[name] = c.Value()
+	}
+	for name, g := range gauges {
+		out[name] = g.Value()
+	}
+	for name, h := range hists {
+		s := h.Snapshot()
+		out[name] = map[string]any{
+			"count": h.Count(),
+			"sum":   h.Sum(),
+			"mean":  s.Mean,
+			"min":   s.Min,
+			"p50":   s.P50,
+			"p90":   s.P90,
+			"p99":   s.P99,
+			"max":   s.Max,
+		}
+	}
+	return out
+}

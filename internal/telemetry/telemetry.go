@@ -1,0 +1,263 @@
+// Package telemetry is the observability substrate for the VMPlants
+// stack: a span tracer whose spans carry both wall-clock and simulation
+// virtual time, and a metrics registry of counters, gauges and
+// histograms with atomic hot paths.
+//
+// Everything is nil-safe: a nil *Hub, *Tracer, *Registry, *Span,
+// *Counter, *Gauge or *Histogram accepts every call as a no-op, so
+// instrumented code paths need no "is telemetry enabled" branches and
+// allocate nothing when telemetry is disabled. Components receive a
+// *Hub (usually via their Config or a SetTelemetry method); passing nil
+// disables instrumentation entirely.
+package telemetry
+
+import (
+	"strconv"
+	"sync"
+	"time"
+)
+
+// Clock yields the current virtual time. *sim.Proc implements it; pass
+// a nil Clock for spans that exist only in wall time (e.g. real RPCs).
+type Clock interface {
+	Now() time.Duration
+}
+
+// Attr is one key=value span annotation.
+type Attr struct {
+	Key   string `json:"key"`
+	Value string `json:"value"`
+}
+
+// Span records one traced operation. Start and end are captured in both
+// virtual time (the simulation kernel's clock, when a Clock is given)
+// and wall-clock time. A span is mutable until End; after End it is
+// published to the tracer and must not be modified.
+type Span struct {
+	ID     uint64
+	Parent uint64 // 0 for root spans
+	Name   string
+
+	VStart time.Duration // virtual time at start
+	VEnd   time.Duration // virtual time at end
+	WStart time.Time     // wall clock at start
+	WEnd   time.Time     // wall clock at end
+
+	Attrs []Attr
+	Err   string // non-empty when the operation failed
+
+	tr *Tracer
+}
+
+// Virtual reports the span's virtual-time duration.
+func (s Span) Virtual() time.Duration { return s.VEnd - s.VStart }
+
+// Wall reports the span's wall-clock duration.
+func (s Span) Wall() time.Duration { return s.WEnd.Sub(s.WStart) }
+
+// Attr returns the value of the named annotation ("" when absent).
+func (s Span) Attr(key string) string {
+	for _, a := range s.Attrs {
+		if a.Key == key {
+			return a.Value
+		}
+	}
+	return ""
+}
+
+// DefaultSpanLimit bounds the tracer's finished-span ring buffer.
+const DefaultSpanLimit = 8192
+
+// Tracer collects finished spans in a bounded ring buffer. A nil
+// *Tracer is a valid no-op tracer.
+type Tracer struct {
+	mu      sync.Mutex
+	nextID  uint64
+	limit   int
+	ring    []*Span
+	next    int // write position once the ring is full
+	dropped uint64
+}
+
+// NewTracer returns a tracer keeping the most recent limit finished
+// spans (limit <= 0 selects DefaultSpanLimit).
+func NewTracer(limit int) *Tracer {
+	if limit <= 0 {
+		limit = DefaultSpanLimit
+	}
+	return &Tracer{limit: limit}
+}
+
+// Start begins a span. c supplies virtual time and may be nil for
+// wall-only spans. On a nil tracer it returns nil, which every Span
+// method accepts.
+func (t *Tracer) Start(c Clock, name string) *Span {
+	if t == nil {
+		return nil
+	}
+	s := &Span{Name: name, WStart: time.Now(), tr: t}
+	if c != nil {
+		s.VStart = c.Now()
+	}
+	t.mu.Lock()
+	t.nextID++
+	s.ID = t.nextID
+	t.mu.Unlock()
+	return s
+}
+
+// Child begins a sub-span of s.
+func (s *Span) Child(c Clock, name string) *Span {
+	if s == nil {
+		return nil
+	}
+	cs := s.tr.Start(c, name)
+	cs.Parent = s.ID
+	return cs
+}
+
+// Set annotates the span, returning it for chaining.
+func (s *Span) Set(key, value string) *Span {
+	if s == nil {
+		return nil
+	}
+	s.Attrs = append(s.Attrs, Attr{Key: key, Value: value})
+	return s
+}
+
+// SetInt annotates the span with an integer value.
+func (s *Span) SetInt(key string, v int64) *Span {
+	if s == nil {
+		return nil
+	}
+	return s.Set(key, strconv.FormatInt(v, 10))
+}
+
+// End finishes the span and publishes it to the tracer.
+func (s *Span) End(c Clock) { s.EndErr(c, nil) }
+
+// EndErr finishes the span, recording err (if any) as its outcome.
+func (s *Span) EndErr(c Clock, err error) {
+	if s == nil {
+		return
+	}
+	if c != nil {
+		s.VEnd = c.Now()
+	}
+	s.WEnd = time.Now()
+	if err != nil {
+		s.Err = err.Error()
+	}
+	s.tr.record(s)
+}
+
+// RecordChild attaches an already-measured virtual-time interval as a
+// finished child span of s — how a caller decomposes an operation whose
+// stage timings were measured elsewhere (e.g. vmm.CloneStats) without
+// instrumenting the callee.
+func (s *Span) RecordChild(name string, vstart, vend time.Duration) {
+	if s == nil {
+		return
+	}
+	now := time.Now()
+	cs := s.tr.Start(nil, name)
+	cs.Parent = s.ID
+	cs.VStart = vstart
+	cs.VEnd = vend
+	cs.WStart = now
+	cs.WEnd = now
+	s.tr.record(cs)
+}
+
+// record appends a finished span, evicting the oldest when full.
+func (t *Tracer) record(s *Span) {
+	t.mu.Lock()
+	if len(t.ring) < t.limit {
+		t.ring = append(t.ring, s)
+	} else {
+		t.ring[t.next] = s
+		t.next = (t.next + 1) % t.limit
+		t.dropped++
+	}
+	t.mu.Unlock()
+}
+
+// Spans returns the finished spans, oldest first, as value copies.
+func (t *Tracer) Spans() []Span {
+	if t == nil {
+		return nil
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	out := make([]Span, 0, len(t.ring))
+	if t.dropped > 0 {
+		// Ring is full: oldest entry sits at the write position.
+		for i := 0; i < t.limit; i++ {
+			out = append(out, *t.ring[(t.next+i)%t.limit])
+		}
+		return out
+	}
+	for _, s := range t.ring {
+		out = append(out, *s)
+	}
+	return out
+}
+
+// Dropped reports how many finished spans were evicted from the ring.
+func (t *Tracer) Dropped() uint64 {
+	if t == nil {
+		return 0
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.dropped
+}
+
+// Reset discards all finished spans (span IDs keep increasing).
+func (t *Tracer) Reset() {
+	if t == nil {
+		return
+	}
+	t.mu.Lock()
+	t.ring = t.ring[:0]
+	t.next = 0
+	t.dropped = 0
+	t.mu.Unlock()
+}
+
+// Hub bundles a tracer and a metrics registry — the single handle
+// components are wired with. A nil *Hub disables all instrumentation.
+type Hub struct {
+	Tracer  *Tracer
+	Metrics *Registry
+}
+
+// New returns a hub with a default tracer and an empty registry.
+func New() *Hub {
+	return &Hub{Tracer: NewTracer(0), Metrics: NewRegistry()}
+}
+
+// T returns the hub's tracer (nil on a nil hub).
+func (h *Hub) T() *Tracer {
+	if h == nil {
+		return nil
+	}
+	return h.Tracer
+}
+
+// M returns the hub's metrics registry (nil on a nil hub).
+func (h *Hub) M() *Registry {
+	if h == nil {
+		return nil
+	}
+	return h.Metrics
+}
+
+// Counter resolves a counter by name (nil on a nil hub).
+func (h *Hub) Counter(name string) *Counter { return h.M().Counter(name) }
+
+// Gauge resolves a gauge by name (nil on a nil hub).
+func (h *Hub) Gauge(name string) *Gauge { return h.M().Gauge(name) }
+
+// Histogram resolves a histogram by name (nil on a nil hub).
+func (h *Hub) Histogram(name string) *Histogram { return h.M().Histogram(name) }

@@ -19,6 +19,7 @@ import (
 	"vmplants/internal/dag"
 	"vmplants/internal/match"
 	"vmplants/internal/storage"
+	"vmplants/internal/telemetry"
 	"vmplants/internal/vdisk"
 )
 
@@ -180,11 +181,28 @@ func ParseDescriptor(blob []byte) (Descriptor, []dag.Action, error) {
 type Warehouse struct {
 	vol    *storage.Volume
 	images map[string]*Image
+
+	// Telemetry instruments (nil-safe no-ops when unset).
+	mLookups      *telemetry.Counter
+	mLookupMisses *telemetry.Counter
+	mPublishes    *telemetry.Counter
+	gImages       *telemetry.Gauge
 }
 
 // New creates an empty warehouse on the given (server-side) volume.
 func New(vol *storage.Volume) *Warehouse {
 	return &Warehouse{vol: vol, images: make(map[string]*Image)}
+}
+
+// SetTelemetry wires the warehouse's instruments: image lookup counters
+// ("warehouse.lookups", "warehouse.lookup_misses"), the publish counter
+// ("warehouse.publishes") and the published-image gauge
+// ("warehouse.images"). Passing nil detaches them.
+func (w *Warehouse) SetTelemetry(h *telemetry.Hub) {
+	w.mLookups = h.Counter("warehouse.lookups")
+	w.mLookupMisses = h.Counter("warehouse.lookup_misses")
+	w.mPublishes = h.Counter("warehouse.publishes")
+	w.gImages = h.Gauge("warehouse.images")
 }
 
 // Volume returns the backing volume.
@@ -248,6 +266,8 @@ func (w *Warehouse) Publish(im *Image) error {
 	}
 	w.vol.WriteMeta(dir+"descriptor.xml", int64(buf.Len()))
 	w.images[im.Name] = im
+	w.mPublishes.Inc()
+	w.gImages.Set(int64(len(w.images)))
 	return nil
 }
 
@@ -272,12 +292,17 @@ func (w *Warehouse) Remove(name string) error {
 		}
 	}
 	delete(w.images, name)
+	w.gImages.Set(int64(len(w.images)))
 	return nil
 }
 
 // Lookup returns a published image.
 func (w *Warehouse) Lookup(name string) (*Image, bool) {
 	im, ok := w.images[name]
+	w.mLookups.Inc()
+	if !ok {
+		w.mLookupMisses.Inc()
+	}
 	return im, ok
 }
 

@@ -10,6 +10,7 @@ import (
 	"vmplants/internal/plant"
 	"vmplants/internal/shop"
 	"vmplants/internal/sim"
+	"vmplants/internal/telemetry"
 	"vmplants/internal/warehouse"
 )
 
@@ -39,6 +40,9 @@ type Options struct {
 	// ClusterParams overrides the testbed calibration (zero value =
 	// cluster.DefaultParams()).
 	ClusterParams *cluster.Params
+	// Telemetry receives spans and metrics from the whole deployment
+	// (kernel, warehouse, every plant, shop); nil disables.
+	Telemetry *telemetry.Hub
 }
 
 // withDefaults fills unset options.
@@ -82,12 +86,14 @@ func GoldenName(memMB int, backend string) string {
 func NewDeployment(opts Options) (*Deployment, error) {
 	opts = opts.withDefaults()
 	k := sim.NewKernel()
+	k.SetTelemetry(opts.Telemetry)
 	params := cluster.DefaultParams()
 	if opts.ClusterParams != nil {
 		params = *opts.ClusterParams
 	}
 	tb := cluster.NewTestbed(k, opts.Plants, params, opts.Seed)
 	wh := warehouse.New(tb.Warehouse)
+	wh.SetTelemetry(opts.Telemetry)
 	for _, mem := range opts.GoldenSizesMB {
 		hw := core.HardwareSpec{Arch: "x86", MemoryMB: mem, DiskMB: opts.GoldenDiskMB}
 		im, err := warehouse.BuildGolden(GoldenName(mem, opts.Backend), hw, opts.Backend, InVigoGoldenHistory())
@@ -116,6 +122,7 @@ func NewDeployment(opts Options) (*Deployment, error) {
 	for _, node := range tb.Nodes {
 		cfg := opts.PlantConfig
 		cfg.CostModel = model
+		cfg.Telemetry = opts.Telemetry
 		pl := plant.New(node.Name(), node, wh, cfg)
 		h := shop.NewLocalHandle(pl)
 		d.Plants = append(d.Plants, pl)
@@ -123,6 +130,7 @@ func NewDeployment(opts Options) (*Deployment, error) {
 		phs = append(phs, h)
 	}
 	d.Shop = shop.New("shop", phs, opts.Seed+1)
+	d.Shop.SetTelemetry(opts.Telemetry)
 	return d, nil
 }
 

@@ -1,0 +1,11 @@
+#!/bin/sh
+# check.sh — the full pre-merge gate: build, vet, then the test suite
+# under the race detector. The telemetry subsystem serves debug HTTP
+# endpoints concurrently with kernel runs, so -race is part of the bar.
+set -eux
+
+cd "$(dirname "$0")/.."
+
+go build ./...
+go vet ./...
+go test -race ./...
