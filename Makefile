@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test race vet check bench
+.PHONY: build test race vet check bench chaos
 
 build:
 	$(GO) build ./...
@@ -22,3 +22,10 @@ check: scripts/check.sh
 
 bench:
 	$(GO) run ./cmd/vmbench -series smoke
+
+# chaos is the failure-recovery smoke: a short deterministic run under
+# the default fault mix that exits nonzero unless every request
+# eventually succeeds, nothing is orphaned or leaked, and a same-seed
+# rerun reproduces byte-identical results.
+chaos:
+	$(GO) run ./cmd/vmbench -exp chaos -series smoke

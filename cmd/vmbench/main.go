@@ -25,7 +25,7 @@ import (
 
 func main() {
 	var (
-		exp      = flag.String("exp", "all", "experiment: all, fig4, fig5, fig6, copy, uml, cost, overhead, anatomy, trace, ablations, extensions")
+		exp      = flag.String("exp", "all", "experiment: all, fig4, fig5, fig6, copy, uml, cost, overhead, anatomy, trace, ablations, extensions, chaos")
 		seed     = flag.Int64("seed", 42, "random seed")
 		series   = flag.String("series", "paper", "request series scale: paper or smoke")
 		traceOut = flag.String("trace", "", "write the trace experiment's spans as JSONL to this file")
@@ -224,6 +224,30 @@ func main() {
 				fmt.Printf("trace written to %s\n", *traceOut)
 			}
 		},
+		"chaos": func() {
+			n := 32
+			if *series == "smoke" {
+				n = 16
+			}
+			res, err := workload.RunChaos(*seed, workload.ChaosOptions{Requests: n})
+			if err != nil {
+				log.Fatalf("vmbench: %v", err)
+			}
+			header("Chaos: fault injection and failure recovery (§3.1 soft-state design)")
+			for _, line := range res.Report() {
+				fmt.Println(line)
+			}
+			again, err := workload.RunChaos(*seed, workload.ChaosOptions{Requests: n})
+			if err != nil {
+				log.Fatalf("vmbench: %v", err)
+			}
+			reproducible := again.Fingerprint == res.Fingerprint
+			fmt.Printf("\nsame-seed rerun byte-identical: %v\n", reproducible)
+			if res.Succeeded != res.Requests || res.OrphanVMs != 0 || res.LeakedNets != 0 || !reproducible {
+				log.Fatalf("vmbench: chaos run failed its invariants (succeeded %d/%d, orphans %d, leaks %d, reproducible %v)",
+					res.Succeeded, res.Requests, res.OrphanVMs, res.LeakedNets, reproducible)
+			}
+		},
 		"ablations": func() {
 			a1, err := workload.RunAblationNoPartialMatch(*seed, 4)
 			if err != nil {
@@ -248,7 +272,7 @@ func main() {
 		},
 	}
 
-	order := []string{"fig4", "fig5", "fig6", "copy", "uml", "cost", "overhead", "anatomy", "trace", "ablations", "extensions"}
+	order := []string{"fig4", "fig5", "fig6", "copy", "uml", "cost", "overhead", "anatomy", "trace", "ablations", "extensions", "chaos"}
 	switch *exp {
 	case "all":
 		for _, name := range order {

@@ -23,6 +23,7 @@ import (
 	"time"
 
 	"vmplants/internal/proto"
+	"vmplants/internal/service"
 	"vmplants/internal/workload"
 )
 
@@ -49,6 +50,9 @@ func main() {
 		requireID(args)
 		doSimple(*shopAddr, *timeout, &proto.Message{Kind: proto.KindLifecycleRequest,
 			Lifecycle: &proto.LifecycleRequest{VMID: args[1], Op: args[0]}})
+	case "ping":
+		doSimple(*shopAddr, *timeout, &proto.Message{Kind: proto.KindPingRequest,
+			Ping: &proto.PingRequest{}})
 	case "dot":
 		doDot(args[1:])
 	case "stats":
@@ -65,7 +69,7 @@ func main() {
 }
 
 func usage() {
-	fmt.Fprintln(os.Stderr, "usage: vmctl [-shop addr] create [-spec file | -example] | query <vmid> | destroy <vmid> | suspend <vmid> | resume <vmid> | publish <vmid> <image> | dot [-spec file] | stats [-debug addr] [-traces n]")
+	fmt.Fprintln(os.Stderr, "usage: vmctl [-shop addr] create [-spec file | -example] | query <vmid> | destroy <vmid> | suspend <vmid> | resume <vmid> | publish <vmid> <image> | ping | dot [-spec file] | stats [-debug addr] [-traces n]")
 	os.Exit(2)
 }
 
@@ -114,6 +118,9 @@ func doSimple(shopAddr string, timeout time.Duration, m *proto.Message) {
 		log.Fatalf("vmctl: %v", err)
 	}
 	defer c.Close()
+	// Idempotent requests (query, ping) ride the standard retry policy;
+	// mutating kinds are never retransmitted.
+	c.Retry = service.DefaultRetry
 	resp, err := c.Call(m)
 	if err != nil {
 		log.Fatalf("vmctl: %v", err)
@@ -129,6 +136,8 @@ func doSimple(shopAddr string, timeout time.Duration, m *proto.Message) {
 		fmt.Printf("%s\n", resp.Queried.Ad)
 	case proto.KindDestroyResponse:
 		fmt.Printf("destroyed %s\n", resp.Destroyed.VMID)
+	case proto.KindPingResponse:
+		fmt.Printf("%s is alive\n", resp.Pong.Service)
 	default:
 		log.Fatalf("vmctl: unexpected response %q", resp.Kind)
 	}

@@ -56,6 +56,15 @@ func ParseVMState(s string) (VMState, error) {
 	return 0, fmt.Errorf("core: unknown VM state %q", s)
 }
 
+// ErrTransient marks a failure of the environment rather than of the
+// request: a crashed plant, a dropped message, a clone I/O error. The
+// same request is expected to succeed elsewhere or later, so the shop
+// fails transient creation errors over to the next bidder instead of
+// surfacing them. Configuration failures — a DAG action exhausting its
+// error policy — are never transient: they would fail identically on
+// every plant.
+var ErrTransient = errors.New("transient failure")
+
 // HardwareSpec is the hardware part of a creation request: the paper's
 // "specifications of hardware … such as the VM's instruction set, memory
 // and disk space".

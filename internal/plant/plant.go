@@ -18,6 +18,7 @@ import (
 	"vmplants/internal/core"
 	"vmplants/internal/cost"
 	"vmplants/internal/dag"
+	"vmplants/internal/fault"
 	"vmplants/internal/match"
 	"vmplants/internal/sim"
 	"vmplants/internal/simnet"
@@ -45,8 +46,19 @@ type Config struct {
 	// defaults.
 	Backends vmm.Registry
 	// FailProb injects per-operation configuration failures: map of
-	// action op → probability. Used by tests and failure experiments.
+	// action op → probability.
+	//
+	// Deprecated: superseded by Faults. The field keeps working — New
+	// installs each entry as an ActionFail rule on a registry sharing
+	// the plant's RNG stream, so legacy failure experiments and tests
+	// replay byte-identically — but new code should configure a
+	// fault.Registry, which covers crashes, RPC faults, and clone I/O
+	// errors as well.
 	FailProb map[string]float64
+	// Faults is the fault-injection registry every injection point in
+	// the plant consults: DAG action failures, clone I/O errors,
+	// mid-creation crashes, slow bids. nil disables injection.
+	Faults *fault.Registry
 	// DisablePartialMatch forces the PPP to ignore cached configuration
 	// work and clone only from images with no performed actions — the
 	// A1 ablation.
@@ -80,10 +92,11 @@ type Plant struct {
 	cfg  Config
 	node *cluster.Node
 	wh   *warehouse.Warehouse
-	nets *simnet.NetPool
-	macs *simnet.MACPool
-	info *InfoSystem
-	rng  *sim.RNG
+	nets   *simnet.NetPool
+	macs   *simnet.MACPool
+	info   *InfoSystem
+	rng    *sim.RNG
+	faults *fault.Registry
 
 	// mu guards the fields below: the creation log and the pre-created
 	// pool are read by out-of-kernel observers (debug endpoints, tests)
@@ -92,6 +105,12 @@ type Plant struct {
 	pool      map[string][]precreated
 	poolSeq   int
 	creations []CreateStats
+	down      bool
+	// ledger is the host-side record of VMs that survive a daemon
+	// crash: the production line's processes keep running when the
+	// management daemon dies, so Recover rebuilds the information
+	// system from here. Classads are soft state and are not kept.
+	ledger map[core.VMID]*record
 
 	// Telemetry instruments, resolved once in New; all nil (no-op)
 	// when cfg.Telemetry is nil.
@@ -105,6 +124,8 @@ type Plant struct {
 	mImageMisses  *telemetry.Counter
 	mCloneBytes   *telemetry.Counter
 	mCloneLinks   *telemetry.Counter
+	mCrashes      *telemetry.Counter
+	mRecoveries   *telemetry.Counter
 	gActiveVMs    *telemetry.Gauge
 	hCreateSecs   *telemetry.Histogram
 	hCloneSecs    *telemetry.Histogram
@@ -138,16 +159,33 @@ func New(name string, node *cluster.Node, wh *warehouse.Warehouse, cfg Config) *
 		cfg.HostOnlyNetworks = 4
 	}
 	tel := cfg.Telemetry
+	rng := node.RNG().Child()
+	// FailProb adapter: legacy per-op probabilities become ActionFail
+	// rules. The registry draws from the plant's own RNG stream and
+	// consumes exactly one draw per check with a matching rule — the
+	// same draw pattern as the old inline Bernoulli — so existing
+	// failure experiments replay byte-identically.
+	faults := cfg.Faults
+	if len(cfg.FailProb) > 0 {
+		if faults == nil {
+			faults = fault.NewWithRNG(rng)
+		}
+		for op, prob := range cfg.FailProb {
+			faults.SetProb(name, fault.ActionFail, op, prob)
+		}
+	}
 	return &Plant{
-		name: name,
-		cfg:  cfg,
-		node: node,
-		wh:   wh,
-		nets: simnet.NewNetPool(name+"/vmnet", cfg.HostOnlyNetworks),
-		macs: simnet.NewMACPool(),
-		info: NewInfoSystem(),
-		pool: make(map[string][]precreated),
-		rng:  node.RNG().Child(),
+		name:   name,
+		cfg:    cfg,
+		node:   node,
+		wh:     wh,
+		nets:   simnet.NewNetPool(name+"/vmnet", cfg.HostOnlyNetworks),
+		macs:   simnet.NewMACPool(),
+		info:   NewInfoSystem(),
+		pool:   make(map[string][]precreated),
+		ledger: make(map[core.VMID]*record),
+		rng:    rng,
+		faults: faults,
 
 		tel:           tel,
 		mCreates:      tel.Counter("plant.creations"),
@@ -159,6 +197,8 @@ func New(name string, node *cluster.Node, wh *warehouse.Warehouse, cfg Config) *
 		mImageMisses:  tel.Counter("warehouse.image_misses"),
 		mCloneBytes:   tel.Counter("vmm.clone_bytes_copied"),
 		mCloneLinks:   tel.Counter("vmm.clone_extents_linked"),
+		mCrashes:      tel.Counter("plant.crashes"),
+		mRecoveries:   tel.Counter("plant.recoveries"),
 		gActiveVMs:    tel.Gauge("plant.active_vms"),
 		hCreateSecs:   tel.Histogram("plant.create_secs"),
 		hCloneSecs:    tel.Histogram("plant.clone_secs"),
@@ -225,6 +265,11 @@ func (pl *Plant) ResourceAd() *classad.Ad {
 func (pl *Plant) Estimate(p *sim.Proc, spec *core.Spec) core.Cost {
 	// Bid computation latency: small, but real on the wire.
 	p.Sleep(sim.Seconds(0.02 * pl.node.Jitter()))
+	// Slow-bid fault: an overloaded plant stalls its estimate past the
+	// shop's patience; the bidding round proceeds without it.
+	if d := pl.faults.DelayFor(pl.name, fault.SlowBid, ""); d > 0 {
+		p.Sleep(d)
+	}
 	if _, err := pl.plan(spec); err != nil {
 		return core.Infeasible
 	}
@@ -357,6 +402,17 @@ func (pl *Plant) Create(p *sim.Proc, id core.VMID, spec *core.Spec) (_ *classad.
 			cloneSp.EndErr(p, cerr)
 			return nil, cerr
 		}
+		// Clone I/O fault: the state copy went bad (stale NFS read,
+		// full local disk). The partial clone is destroyed and the
+		// error marked transient so the shop fails over.
+		if pl.faults.Should(pl.name, fault.CloneIO, "") {
+			vm.Collect(p)
+			releaseNet()
+			releaseRef()
+			cerr := fmt.Errorf("plant %s: clone: %w: injected I/O error", pl.name, core.ErrTransient)
+			cloneSp.EndErr(p, cerr)
+			return nil, cerr
+		}
 	}
 	pl.recordClone(cloneSp, cloneStart, cloneStats, backend.Name(), hit)
 	cloneSp.End(p)
@@ -365,6 +421,16 @@ func (pl *Plant) Create(p *sim.Proc, id core.VMID, spec *core.Spec) (_ *classad.
 		releaseNet()
 		releaseRef()
 		return nil, err
+	}
+	// Crash fault, mid-creation: the daemon dies between clone and
+	// configuration. The production line reaps the half-built clone, so
+	// nothing is orphaned; the plant stays down until Recover.
+	if pl.faults.Should(pl.name, fault.PlantCrash, "create") {
+		vm.Collect(p)
+		releaseNet()
+		releaseRef()
+		pl.Crash()
+		return nil, fmt.Errorf("plant %s: %w: plant crashed during creation", pl.name, core.ErrTransient)
 	}
 
 	// Configure the residual sub-graph.
@@ -487,7 +553,7 @@ func (pl *Plant) configure(p *sim.Proc, vm *vmm.VM, g *dag.Graph, residual []str
 // then continue-or-abort.
 func (pl *Plant) runWithPolicy(p *sim.Proc, vm *vmm.VM, n *dag.Node) error {
 	attempt := func() error {
-		if prob := pl.cfg.FailProb[n.Action.Op]; prob > 0 && pl.rng.Bernoulli(prob) {
+		if pl.faults.Should(pl.name, fault.ActionFail, n.Action.Op) {
 			// The action consumed its time before failing.
 			p.Sleep(sim.Seconds(0.5 * pl.node.Jitter()))
 			return fmt.Errorf("injected failure in %s", n.Action.Op)

@@ -1,0 +1,138 @@
+package plant
+
+import (
+	"sort"
+	"time"
+
+	"vmplants/internal/classad"
+	"vmplants/internal/core"
+	"vmplants/internal/fault"
+	"vmplants/internal/sim"
+	"vmplants/internal/vmm"
+)
+
+// The paper's §3.1 keeps only soft state in VMShop and the VM
+// Information System precisely so the system can recover from daemon
+// failures. This file is the plant half of that story: Crash models
+// the management daemon dying — its soft state evaporates while the
+// production line's VMs, the host-only switches, and the warehouse
+// references survive on the host — and Recover models the restarted
+// daemon rescanning that host state to rebuild the information system.
+
+// Down reports whether the plant daemon is crashed. Transports check
+// it before delivering calls.
+func (pl *Plant) Down() bool {
+	pl.mu.Lock()
+	defer pl.mu.Unlock()
+	return pl.down
+}
+
+// Faults exposes the plant's effective fault registry (the configured
+// one, or the one the FailProb adapter created); nil when injection is
+// disabled.
+func (pl *Plant) Faults() *fault.Registry { return pl.faults }
+
+// Crash simulates the plant daemon dying. Subsequent calls through any
+// transport fail until Recover runs. The VM Information System's
+// classads are lost — they are soft state — while each VM's host-side
+// existence moves to the crash ledger for the restarted daemon to find.
+func (pl *Plant) Crash() {
+	pl.mu.Lock()
+	defer pl.mu.Unlock()
+	if pl.down {
+		return
+	}
+	pl.down = true
+	for _, id := range pl.info.IDs() {
+		r, _ := pl.info.get(id)
+		r.ad = nil // soft state dies with the daemon
+		pl.ledger[id] = r
+		pl.info.remove(id)
+	}
+	pl.mCrashes.Inc()
+	pl.gActiveVMs.Set(0)
+}
+
+// Recover restarts a crashed plant daemon: it rescans the host —
+// running VMs, network assignments, image references — and rebuilds
+// the VM Information System record by record, re-deriving each classad
+// from the VM's runtime state. It reports how many records were
+// rebuilt. On a plant that never crashed it is a no-op.
+func (pl *Plant) Recover(p *sim.Proc) (n int) {
+	pl.mu.Lock()
+	if !pl.down && len(pl.ledger) == 0 {
+		pl.mu.Unlock()
+		return 0
+	}
+	pl.down = false
+	ids := make([]core.VMID, 0, len(pl.ledger))
+	for id := range pl.ledger {
+		ids = append(ids, id)
+	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	recs := make([]*record, len(ids))
+	for i, id := range ids {
+		recs[i] = pl.ledger[id]
+	}
+	pl.ledger = make(map[core.VMID]*record)
+	pl.mu.Unlock()
+
+	sp := pl.tel.T().Start(p, "plant.recover").Set("plant", pl.name)
+	defer func() {
+		sp.SetInt("vms", int64(n))
+		sp.End(p)
+	}()
+	// Daemon restart cost: process start plus a host-state scan.
+	p.Sleep(sim.Seconds(0.5 * pl.node.Jitter()))
+	for _, r := range recs {
+		// Per-VM probe of the production line.
+		p.Sleep(sim.Seconds(0.05 * pl.node.Jitter()))
+		r.ad = pl.rebuildAd(p, r)
+		pl.info.store(r)
+		n++
+	}
+	pl.mRecoveries.Inc()
+	pl.gActiveVMs.Set(int64(pl.info.Count()))
+	return n
+}
+
+// rebuildAd re-derives a VM's classad from runtime state after a crash.
+// Everything observable on the host comes back — identity, hardware,
+// network, outputs, golden lineage. What only the dead daemon knew
+// (clone latency, match counts) is gone, which is the honest shape of
+// soft-state recovery; a Recovered marker says so.
+func (pl *Plant) rebuildAd(p *sim.Proc, r *record) *classad.Ad {
+	vm := r.vm
+	hw := vm.Hardware()
+	state := "suspended"
+	if vm.State() == vmm.Running {
+		state = core.StateRunning.String()
+	}
+	ad := classad.New().
+		SetString(core.AttrVMID, string(vm.ID())).
+		SetString(core.AttrName, vm.Name()).
+		SetString(core.AttrState, state).
+		SetInt(core.AttrMemoryMB, int64(hw.MemoryMB)).
+		SetInt(core.AttrDiskMB, int64(hw.DiskMB)).
+		SetString(core.AttrArch, hw.Arch).
+		SetString(core.AttrDomain, r.domain).
+		SetString(core.AttrPlant, pl.name).
+		SetString(core.AttrBackend, vm.Backend()).
+		SetInt(core.AttrCreatedAt, int64(r.createdAt/time.Second)).
+		SetString("Recovered", "true")
+	if net := vm.Network(); net != nil {
+		ad.SetString(core.AttrNetwork, net.ID)
+	}
+	if r.golden != nil {
+		ad.SetString(core.AttrGoldenImage, r.golden.Name)
+	}
+	if ip := vm.Guest().IP; ip != "" {
+		ad.SetString(core.AttrIP, ip)
+	}
+	ad.SetString(core.AttrMAC, vm.MAC().String())
+	for _, k := range sortedKeys(vm.Guest().Outputs) {
+		ad.SetString("Out_"+sanitizeAttr(k), vm.Guest().Outputs[k])
+	}
+	ad.SetInt(core.AttrUptimeSecs, int64((p.Now()-r.createdAt)/time.Second))
+	return ad
+}

@@ -41,6 +41,10 @@ const (
 	KindPublishResponse   Kind = "publish-response"
 	KindLifecycleRequest  Kind = "lifecycle-request"
 	KindLifecycleResponse Kind = "lifecycle-response"
+	KindListRequest       Kind = "list-request"
+	KindListResponse      Kind = "list-response"
+	KindPingRequest       Kind = "ping-request"
+	KindPingResponse      Kind = "ping-response"
 	KindError             Kind = "error"
 )
 
@@ -62,6 +66,10 @@ type Message struct {
 	Published  *PublishResponse   `xml:"publish-response"`
 	Lifecycle  *LifecycleRequest  `xml:"lifecycle-request"`
 	Lifecycled *LifecycleResponse `xml:"lifecycle-response"`
+	List       *ListRequest       `xml:"list-request"`
+	Listed     *ListResponse      `xml:"list-response"`
+	Ping       *PingRequest       `xml:"ping-request"`
+	Pong       *PingResponse      `xml:"ping-response"`
 	Err        *ErrorResponse     `xml:"error"`
 }
 
@@ -190,6 +198,25 @@ type LifecycleResponse struct {
 	State string `xml:"state"`
 }
 
+// ListRequest asks a plant for its VM inventory — the shop's recovery
+// sweep rebuilds routing soft state from the answers.
+type ListRequest struct{}
+
+// ListResponse enumerates the plant's active VMs.
+type ListResponse struct {
+	Plant string   `xml:"plant"`
+	VMIDs []string `xml:"vmids>vmid"`
+}
+
+// PingRequest is a liveness probe: the cheapest idempotent request,
+// used by retry probes and circuit-breaker half-open checks.
+type PingRequest struct{}
+
+// PingResponse acknowledges liveness.
+type PingResponse struct {
+	Service string `xml:"service"`
+}
+
 // ErrorResponse reports a failed request.
 type ErrorResponse struct {
 	Code   string `xml:"code"`
@@ -225,6 +252,10 @@ func (m *Message) validateEnvelope() error {
 		KindPublishResponse:   m.Published != nil,
 		KindLifecycleRequest:  m.Lifecycle != nil,
 		KindLifecycleResponse: m.Lifecycled != nil,
+		KindListRequest:       m.List != nil,
+		KindListResponse:      m.Listed != nil,
+		KindPingRequest:       m.Ping != nil,
+		KindPingResponse:      m.Pong != nil,
 		KindError:             m.Err != nil,
 	}
 	present, known := bodies[m.Kind]

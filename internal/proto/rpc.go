@@ -1,13 +1,69 @@
 package proto
 
 import (
+	"errors"
 	"fmt"
+	"math/rand"
 	"net"
 	"sync"
 	"time"
 
 	"vmplants/internal/telemetry"
 )
+
+// RemoteError is a decoded error response from the peer. The request
+// was delivered and answered — the failure is the answer — so the
+// retry machinery never retries one.
+type RemoteError struct {
+	Code   string
+	Detail string
+}
+
+func (e *RemoteError) Error() string {
+	return fmt.Sprintf("remote error %s: %s", e.Code, e.Detail)
+}
+
+// RetryPolicy bounds retransmission of idempotent requests
+// (query/estimate/list/ping) after transport failures: exponential
+// backoff from BaseBackoff doubling up to MaxBackoff, with a
+// deterministic jitter stream seeded by Seed so identically configured
+// clients replay identical schedules.
+type RetryPolicy struct {
+	// Attempts is the total number of tries (first call included);
+	// 0 or 1 disables retry.
+	Attempts int
+	// BaseBackoff is the pause before the first retry; it doubles per
+	// retry up to MaxBackoff (0 = no cap).
+	BaseBackoff time.Duration
+	MaxBackoff  time.Duration
+	// Jitter is the fraction of each backoff randomized, in [0, 1]: the
+	// pause becomes backoff * (1 ± Jitter*u) for uniform u.
+	Jitter float64
+	// Seed drives the jitter stream.
+	Seed int64
+}
+
+// backoffFor computes the pause before retry number retry (1-based).
+func (rp RetryPolicy) backoffFor(retry int, rng *rand.Rand) time.Duration {
+	d := rp.BaseBackoff
+	for i := 1; i < retry; i++ {
+		d *= 2
+		if rp.MaxBackoff > 0 && d >= rp.MaxBackoff {
+			d = rp.MaxBackoff
+			break
+		}
+	}
+	if rp.MaxBackoff > 0 && d > rp.MaxBackoff {
+		d = rp.MaxBackoff
+	}
+	if rp.Jitter > 0 && d > 0 && rng != nil {
+		d += time.Duration(float64(d) * rp.Jitter * (2*rng.Float64() - 1))
+	}
+	if d < 0 {
+		d = 0
+	}
+	return d
+}
 
 // Client is a request/response connection to a VMPlants service. It is
 // safe for concurrent use; requests are serialized on the stream and
@@ -19,11 +75,23 @@ type Client struct {
 	seq  uint64
 	// Timeout bounds each round trip (0 = no deadline).
 	Timeout time.Duration
+	// Retry bounds retransmission of idempotent requests after
+	// transport failures; the zero value disables retry.
+	Retry RetryPolicy
+
+	retryRNG *rand.Rand // lazily seeded from Retry.Seed, under mu
+	// redial re-establishes the connection between attempts; set by
+	// Dial. nil retries on the existing connection.
+	redial func() (net.Conn, error)
+	// sleepFn pauses between attempts; time.Sleep unless a test
+	// substitutes one.
+	sleepFn func(time.Duration)
 
 	// Telemetry instruments (nil-safe no-ops when unset).
-	mCalls  *telemetry.Counter
-	mErrors *telemetry.Counter
-	hSecs   *telemetry.Histogram
+	mCalls   *telemetry.Counter
+	mErrors  *telemetry.Counter
+	mRetries *telemetry.Counter
+	hSecs    *telemetry.Histogram
 }
 
 // Dial connects to a service endpoint.
@@ -33,7 +101,9 @@ func Dial(addr string, timeout time.Duration) (*Client, error) {
 	if err != nil {
 		return nil, fmt.Errorf("proto: dial %s: %w", addr, err)
 	}
-	return &Client{conn: conn, addr: addr, Timeout: timeout}, nil
+	c := &Client{conn: conn, addr: addr, Timeout: timeout}
+	c.redial = func() (net.Conn, error) { return d.Dial("tcp", addr) }
+	return c, nil
 }
 
 // NewClient wraps an existing connection.
@@ -51,6 +121,7 @@ func NewClient(conn net.Conn) *Client {
 func (c *Client) SetTelemetry(h *telemetry.Hub) {
 	c.mCalls = h.Counter("proto.rpc_calls")
 	c.mErrors = h.Counter("proto.rpc_errors")
+	c.mRetries = h.Counter("proto.rpc_retries")
 	c.hSecs = h.Histogram("proto.rpc_secs")
 }
 
@@ -85,10 +156,44 @@ func (c *Client) call(m *Message) (*Message, error) {
 		c.mCalls.Inc()
 		c.hSecs.Observe(time.Since(start).Seconds())
 	}()
+	resp, err := c.attempt(m)
+	if err == nil || !c.shouldRetry(m.Kind, err) {
+		return resp, err
+	}
+	for retry := 1; retry < c.Retry.Attempts; retry++ {
+		c.mRetries.Inc()
+		c.pause(c.Retry.backoffFor(retry, c.jitterRNG()))
+		if c.redial != nil {
+			conn, derr := c.redial()
+			if derr != nil {
+				err = fmt.Errorf("redial: %w", derr)
+				continue
+			}
+			c.conn.Close()
+			c.conn = conn
+		}
+		resp, err = c.attempt(m)
+		if err == nil || !c.shouldRetry(m.Kind, err) {
+			return resp, err
+		}
+	}
+	return resp, err
+}
+
+// attempt performs one round trip under the client's lock. Each
+// attempt is a fresh request with its own sequence number, so a reply
+// to an abandoned earlier attempt can never be mistaken for the
+// current one.
+func (c *Client) attempt(m *Message) (*Message, error) {
 	c.seq++
 	m.Seq = c.seq
 	if c.Timeout > 0 {
 		c.conn.SetDeadline(time.Now().Add(c.Timeout))
+	} else {
+		// Clear any deadline a previous Timeout>0 call left on the
+		// connection; without this, resetting Timeout to 0 would leave
+		// the stale deadline ticking and fail some later call.
+		c.conn.SetDeadline(time.Time{})
 	}
 	if err := WriteMessage(c.conn, m); err != nil {
 		return nil, err
@@ -101,10 +206,60 @@ func (c *Client) call(m *Message) (*Message, error) {
 		return nil, fmt.Errorf("response seq %d for request %d", resp.Seq, m.Seq)
 	}
 	if resp.Kind == KindError {
-		return nil, fmt.Errorf("remote error %s: %s", resp.Err.Code, resp.Err.Detail)
+		return nil, &RemoteError{Code: resp.Err.Code, Detail: resp.Err.Detail}
 	}
 	return resp, nil
 }
+
+// idempotentKinds are the requests safe to retransmit: re-asking never
+// changes service state. Create/destroy/publish/lifecycle are not —
+// the first attempt may have been applied before its reply was lost.
+var idempotentKinds = map[Kind]bool{
+	KindQueryRequest:    true,
+	KindEstimateRequest: true,
+	KindListRequest:     true,
+	KindPingRequest:     true,
+}
+
+// shouldRetry reports whether a failed attempt of the given kind is
+// worth retransmitting under the client's policy.
+func (c *Client) shouldRetry(kind Kind, err error) bool {
+	if c.Retry.Attempts <= 1 || !idempotentKinds[kind] {
+		return false
+	}
+	var remote *RemoteError
+	return !errors.As(err, &remote)
+}
+
+func (c *Client) jitterRNG() *rand.Rand {
+	if c.Retry.Jitter <= 0 {
+		return nil
+	}
+	if c.retryRNG == nil {
+		c.retryRNG = rand.New(rand.NewSource(c.Retry.Seed))
+	}
+	return c.retryRNG
+}
+
+func (c *Client) pause(d time.Duration) {
+	if d <= 0 {
+		return
+	}
+	if c.sleepFn != nil {
+		c.sleepFn(d)
+		return
+	}
+	time.Sleep(d)
+}
+
+// SetSleepFunc substitutes the pause between retry attempts — tests
+// use it to record the backoff schedule instead of sleeping.
+func (c *Client) SetSleepFunc(fn func(time.Duration)) { c.sleepFn = fn }
+
+// SetRedialFunc substitutes how the client re-establishes its
+// connection between retry attempts (nil keeps retrying on the current
+// connection). Dial installs the real re-dialer.
+func (c *Client) SetRedialFunc(fn func() (net.Conn, error)) { c.redial = fn }
 
 // Close closes the underlying connection.
 func (c *Client) Close() error { return c.conn.Close() }

@@ -12,6 +12,7 @@
 package service
 
 import (
+	"errors"
 	"fmt"
 	"sync"
 	"time"
@@ -60,7 +61,25 @@ func (r *Runner) Now() time.Duration {
 // operations (Figure 2: Create, Collect, Query, Estimate cost).
 func NewPlantHandler(r *Runner, pl *plant.Plant) proto.Handler {
 	return func(req *proto.Message) *proto.Message {
+		// A crashed plant daemon answers nothing until it recovers; the
+		// unavailable code maps to ErrPlantDown on the shop side.
+		if pl.Down() {
+			return proto.Errorf(req.Seq, proto.CodeUnavailable, "plant %s: daemon not running", pl.Name())
+		}
 		switch req.Kind {
+		case proto.KindPingRequest:
+			return &proto.Message{Kind: proto.KindPingResponse,
+				Pong: &proto.PingResponse{Service: pl.Name()}}
+
+		case proto.KindListRequest:
+			ids := pl.VMIDs()
+			out := make([]string, len(ids))
+			for i, id := range ids {
+				out[i] = string(id)
+			}
+			return &proto.Message{Kind: proto.KindListResponse,
+				Listed: &proto.ListResponse{Plant: pl.Name(), VMIDs: out}}
+
 		case proto.KindEstimateRequest:
 			spec, err := req.Estimate.Create.Spec()
 			if err != nil {
@@ -158,12 +177,20 @@ type RemotePlant struct {
 	PlantName string
 	Addr      string
 	Timeout   time.Duration
+	// Retry bounds retransmission of idempotent calls
+	// (estimate/query/list/ping); the zero value selects a default of
+	// 3 attempts with 50 ms base backoff. Set Attempts to 1 to disable.
+	Retry proto.RetryPolicy
 	// Telemetry instruments each dialed connection's RPCs; nil disables.
 	Telemetry *telemetry.Hub
 }
 
 // Name implements shop.PlantHandle.
 func (rp *RemotePlant) Name() string { return rp.PlantName }
+
+// DefaultRetry is the retry policy remote plant handles use unless
+// configured otherwise.
+var DefaultRetry = proto.RetryPolicy{Attempts: 3, BaseBackoff: 50 * time.Millisecond, MaxBackoff: time.Second, Jitter: 0.2}
 
 func (rp *RemotePlant) call(m *proto.Message) (*proto.Message, error) {
 	timeout := rp.Timeout
@@ -175,12 +202,41 @@ func (rp *RemotePlant) call(m *proto.Message) (*proto.Message, error) {
 		return nil, fmt.Errorf("%w: %v", shop.ErrPlantDown, err)
 	}
 	defer c.Close()
+	c.Retry = rp.Retry
+	if c.Retry.Attempts == 0 {
+		c.Retry = DefaultRetry
+	}
 	c.SetTelemetry(rp.Telemetry)
 	resp, err := c.Call(m)
 	if err != nil {
+		// An unavailable answer is a crashed daemon: let the shop's
+		// recovery machinery (re-bid, failover, breakers) take over.
+		var remote *proto.RemoteError
+		if errors.As(err, &remote) && remote.Code == proto.CodeUnavailable {
+			return nil, fmt.Errorf("%w: %v", shop.ErrPlantDown, err)
+		}
 		return nil, err
 	}
 	return resp, nil
+}
+
+// List implements shop.PlantHandle.
+func (rp *RemotePlant) List(p *sim.Proc) ([]core.VMID, error) {
+	resp, err := rp.call(&proto.Message{Kind: proto.KindListRequest, List: &proto.ListRequest{}})
+	if err != nil {
+		return nil, err
+	}
+	out := make([]core.VMID, len(resp.Listed.VMIDs))
+	for i, id := range resp.Listed.VMIDs {
+		out[i] = core.VMID(id)
+	}
+	return out, nil
+}
+
+// Ping probes the remote daemon's liveness.
+func (rp *RemotePlant) Ping() error {
+	_, err := rp.call(&proto.Message{Kind: proto.KindPingRequest, Ping: &proto.PingRequest{}})
+	return err
 }
 
 // Estimate implements shop.PlantHandle.
@@ -260,6 +316,10 @@ func DiscoverPlants(reg *registry.Registry, timeout time.Duration) []shop.PlantH
 func NewShopHandler(r *Runner, s *shop.Shop) proto.Handler {
 	return func(req *proto.Message) *proto.Message {
 		switch req.Kind {
+		case proto.KindPingRequest:
+			return &proto.Message{Kind: proto.KindPingResponse,
+				Pong: &proto.PingResponse{Service: s.Name()}}
+
 		case proto.KindCreateRequest:
 			spec, err := req.Create.Spec()
 			if err != nil {

@@ -1,0 +1,147 @@
+package shop
+
+import (
+	"time"
+)
+
+// BreakerConfig tunes the shop's per-plant circuit breakers. The
+// breaker spares bidding rounds the cost of timing out against a plant
+// that has failed repeatedly: after Threshold consecutive transport
+// failures the plant is skipped outright (open), and after Cooldown of
+// virtual time a single probe is allowed through (half-open) to find
+// out whether it came back.
+type BreakerConfig struct {
+	// Threshold is the number of consecutive transport failures that
+	// opens the breaker; 0 disables breakers entirely (the default, and
+	// the legacy behavior).
+	Threshold int
+	// Cooldown is how long an open breaker refuses calls before
+	// half-opening for a probe.
+	Cooldown time.Duration
+}
+
+type breakerState int
+
+const (
+	breakerClosed breakerState = iota
+	breakerOpen
+	breakerHalfOpen
+)
+
+func (s breakerState) String() string {
+	switch s {
+	case breakerOpen:
+		return "open"
+	case breakerHalfOpen:
+		return "half-open"
+	default:
+		return "closed"
+	}
+}
+
+// breaker is the per-plant failure gate. It is touched only by kernel
+// processes (which the kernel serializes), so it needs no lock.
+type breaker struct {
+	cfg      BreakerConfig
+	state    breakerState
+	failures int           // consecutive, while closed
+	openedAt time.Duration // virtual time the breaker last opened
+}
+
+// allow reports whether a call to the plant may proceed at virtual time
+// now, half-opening an open breaker whose cooldown has elapsed.
+func (b *breaker) allow(now time.Duration) bool {
+	if b == nil || b.cfg.Threshold <= 0 {
+		return true
+	}
+	switch b.state {
+	case breakerOpen:
+		if now-b.openedAt >= b.cfg.Cooldown {
+			b.state = breakerHalfOpen
+			return true
+		}
+		return false
+	default: // closed or half-open (the probe is in flight)
+		return true
+	}
+}
+
+// onSuccess records a successful call: the probe (or any call) closes
+// the breaker and clears the failure streak.
+func (b *breaker) onSuccess() {
+	if b == nil || b.cfg.Threshold <= 0 {
+		return
+	}
+	b.state = breakerClosed
+	b.failures = 0
+}
+
+// onFailure records a transport failure at virtual time now and reports
+// whether the breaker transitioned to open.
+func (b *breaker) onFailure(now time.Duration) bool {
+	if b == nil || b.cfg.Threshold <= 0 {
+		return false
+	}
+	switch b.state {
+	case breakerHalfOpen:
+		// The probe failed: straight back to open for another cooldown.
+		b.state = breakerOpen
+		b.openedAt = now
+		return true
+	default:
+		b.failures++
+		if b.failures >= b.cfg.Threshold {
+			b.state = breakerOpen
+			b.openedAt = now
+			return true
+		}
+	}
+	return false
+}
+
+// breakerFor returns (lazily creating) the named plant's breaker.
+func (s *Shop) breakerFor(name string) *breaker {
+	if s.Breaker.Threshold <= 0 {
+		return nil
+	}
+	b, ok := s.breakers[name]
+	if !ok {
+		b = &breaker{cfg: s.Breaker}
+		s.breakers[name] = b
+	}
+	return b
+}
+
+// noteSuccess closes the plant's breaker after a successful call.
+func (s *Shop) noteSuccess(name string) {
+	s.breakerFor(name).onSuccess()
+}
+
+// noteFailure records a transport failure against the plant's breaker
+// and emits the transition counter when it opens.
+func (s *Shop) noteFailure(now time.Duration, name string) {
+	if s.breakerFor(name).onFailure(now) {
+		s.mBreakerOpens.Inc()
+		s.gOpenBreakers.Set(int64(s.openBreakers()))
+	}
+}
+
+// openBreakers counts breakers currently refusing traffic.
+func (s *Shop) openBreakers() int {
+	n := 0
+	for _, b := range s.breakers {
+		if b.state == breakerOpen {
+			n++
+		}
+	}
+	return n
+}
+
+// BreakerState reports the named plant's breaker state — "closed",
+// "open" or "half-open" — for tests and debug endpoints.
+func (s *Shop) BreakerState(name string) string {
+	if b, ok := s.breakers[name]; ok {
+		return b.state.String()
+	}
+	return breakerClosed.String()
+}

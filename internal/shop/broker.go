@@ -129,3 +129,26 @@ func (b *Broker) Lifecycle(p *sim.Proc, id core.VMID, op string) error {
 	}
 	return h.Lifecycle(p, id, op)
 }
+
+// List implements PlantHandle: the union of the fronted plants'
+// inventories. Unreachable plants contribute nothing; the broker only
+// errors when every fronted plant is unreachable, since a partial
+// inventory is still useful for route recovery.
+func (b *Broker) List(p *sim.Proc) ([]core.VMID, error) {
+	var out []core.VMID
+	var lastErr error
+	reachable := 0
+	for _, h := range b.plants {
+		ids, err := h.List(p)
+		if err != nil {
+			lastErr = err
+			continue
+		}
+		reachable++
+		out = append(out, ids...)
+	}
+	if reachable == 0 && lastErr != nil {
+		return nil, lastErr
+	}
+	return out, nil
+}

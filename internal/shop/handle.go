@@ -3,11 +3,13 @@ package shop
 import (
 	"errors"
 	"fmt"
+	"time"
 
 	"vmplants/internal/proto"
 
 	"vmplants/internal/classad"
 	"vmplants/internal/core"
+	"vmplants/internal/fault"
 	"vmplants/internal/plant"
 	"vmplants/internal/sim"
 )
@@ -34,6 +36,10 @@ type PlantHandle interface {
 	// Lifecycle suspends or resumes an active VM (op is
 	// proto.LifecycleSuspend or proto.LifecycleResume).
 	Lifecycle(p *sim.Proc, id core.VMID, op string) error
+	// List enumerates the VMs the plant currently hosts. Shop.Recover
+	// uses it to rebuild routing soft state with one call per plant
+	// instead of probing VM by VM.
+	List(p *sim.Proc) ([]core.VMID, error)
 }
 
 // ErrPlantDown marks an unreachable plant.
@@ -50,19 +56,80 @@ type LocalHandle struct {
 	MsgLatency float64 // seconds
 	// Down simulates a crashed plant: every call errors.
 	Down bool
+	// CallTimeout is how long a caller waits on a lost message before
+	// giving up, in virtual seconds; it is the price of an injected RPC
+	// drop or a call to a crashed daemon.
+	CallTimeout float64
+	// Faults injects transport faults against this plant — RPC
+	// drop/delay rules and crash triggers keyed by the plant's name,
+	// with the calling operation as the rule op. nil disables.
+	Faults *fault.Registry
+	// RestartAfter, when positive, re-runs the plant daemon this much
+	// virtual time after a crash is observed — the node's process
+	// supervisor — by calling Plant.Recover from a spawned process.
+	// Zero leaves the plant down until someone calls Recover.
+	RestartAfter time.Duration
+	// restartArmed is true while a supervisor restart is pending, so a
+	// burst of failed calls schedules exactly one restart. Kernel
+	// processes are serialized, so no lock is needed.
+	restartArmed bool
 }
 
 // NewLocalHandle wraps a plant with the default control latency.
 func NewLocalHandle(pl *plant.Plant) *LocalHandle {
-	return &LocalHandle{Plant: pl, MsgLatency: 0.004}
+	return &LocalHandle{Plant: pl, MsgLatency: 0.004, CallTimeout: 1.0}
 }
 
 // Name implements PlantHandle.
 func (h *LocalHandle) Name() string { return h.Plant.Name() }
 
-func (h *LocalHandle) roundTrip(p *sim.Proc) error {
+// scheduleRestart arms the supervisor: one process that waits
+// RestartAfter of virtual time and restarts the plant daemon.
+func (h *LocalHandle) scheduleRestart(p *sim.Proc) {
+	if h.RestartAfter <= 0 || h.restartArmed {
+		return
+	}
+	h.restartArmed = true
+	p.Kernel().Spawn("supervisor/"+h.Plant.Name(), func(sp *sim.Proc) {
+		sp.Sleep(h.RestartAfter)
+		h.Plant.Recover(sp)
+		h.restartArmed = false
+	})
+}
+
+// timeout charges the caller a full call timeout — the cost of waiting
+// on a message that will never be answered.
+func (h *LocalHandle) timeout(p *sim.Proc) {
+	t := h.CallTimeout
+	if t <= 0 {
+		t = 1.0
+	}
+	p.Sleep(sim.Seconds(t))
+}
+
+func (h *LocalHandle) roundTrip(p *sim.Proc, op string) error {
+	name := h.Plant.Name()
 	if h.Down {
-		return fmt.Errorf("%w: %s", ErrPlantDown, h.Plant.Name())
+		return fmt.Errorf("%w: %s", ErrPlantDown, name)
+	}
+	// Crash fault at the transport: the daemon dies before this call
+	// reaches it.
+	if h.Faults.Should(name, fault.PlantCrash, op) {
+		h.Plant.Crash()
+	}
+	if h.Plant.Down() {
+		h.scheduleRestart(p)
+		h.timeout(p)
+		return fmt.Errorf("%w: %s: daemon not running", ErrPlantDown, name)
+	}
+	// Dropped request (or dropped reply — indistinguishable to the
+	// caller): burn the timeout, then report the transport failure.
+	if h.Faults.Should(name, fault.RPCDrop, op) {
+		h.timeout(p)
+		return fmt.Errorf("%w: %s: %s timed out", ErrPlantDown, name, op)
+	}
+	if d := h.Faults.DelayFor(name, fault.RPCDelay, op); d > 0 {
+		p.Sleep(d)
 	}
 	p.Sleep(sim.Seconds(2 * h.MsgLatency))
 	return nil
@@ -70,7 +137,7 @@ func (h *LocalHandle) roundTrip(p *sim.Proc) error {
 
 // Estimate implements PlantHandle.
 func (h *LocalHandle) Estimate(p *sim.Proc, spec *core.Spec) (core.Cost, *classad.Ad, error) {
-	if err := h.roundTrip(p); err != nil {
+	if err := h.roundTrip(p, "estimate"); err != nil {
 		return core.Infeasible, nil, err
 	}
 	return h.Plant.Estimate(p, spec), h.Plant.ResourceAd(), nil
@@ -78,24 +145,38 @@ func (h *LocalHandle) Estimate(p *sim.Proc, spec *core.Spec) (core.Cost, *classa
 
 // Create implements PlantHandle.
 func (h *LocalHandle) Create(p *sim.Proc, id core.VMID, spec *core.Spec) (*classad.Ad, error) {
-	if err := h.roundTrip(p); err != nil {
+	if err := h.roundTrip(p, "create"); err != nil {
 		return nil, err
 	}
-	return h.Plant.Create(p, id, spec)
+	ad, err := h.Plant.Create(p, id, spec)
+	if h.Plant.Down() {
+		// The daemon crashed while handling the order; arm the
+		// supervisor so the plant eventually returns.
+		h.scheduleRestart(p)
+	}
+	return ad, err
 }
 
 // Query implements PlantHandle.
 func (h *LocalHandle) Query(p *sim.Proc, id core.VMID) (*classad.Ad, bool, error) {
-	if err := h.roundTrip(p); err != nil {
+	if err := h.roundTrip(p, "query"); err != nil {
 		return nil, false, err
 	}
 	ad, ok := h.Plant.Query(p, id)
 	return ad, ok, nil
 }
 
+// List implements PlantHandle.
+func (h *LocalHandle) List(p *sim.Proc) ([]core.VMID, error) {
+	if err := h.roundTrip(p, "list"); err != nil {
+		return nil, err
+	}
+	return h.Plant.VMIDs(), nil
+}
+
 // Collect implements PlantHandle.
 func (h *LocalHandle) Collect(p *sim.Proc, id core.VMID) (bool, error) {
-	if err := h.roundTrip(p); err != nil {
+	if err := h.roundTrip(p, "collect"); err != nil {
 		return false, err
 	}
 	if err := h.Plant.Collect(p, id); err != nil {
@@ -111,7 +192,7 @@ func (h *LocalHandle) Collect(p *sim.Proc, id core.VMID) (bool, error) {
 
 // Publish implements PlantHandle.
 func (h *LocalHandle) Publish(p *sim.Proc, id core.VMID, image string) error {
-	if err := h.roundTrip(p); err != nil {
+	if err := h.roundTrip(p, "publish"); err != nil {
 		return err
 	}
 	return h.Plant.PublishImage(p, id, image)
@@ -119,7 +200,7 @@ func (h *LocalHandle) Publish(p *sim.Proc, id core.VMID, image string) error {
 
 // Lifecycle implements PlantHandle.
 func (h *LocalHandle) Lifecycle(p *sim.Proc, id core.VMID, op string) error {
-	if err := h.roundTrip(p); err != nil {
+	if err := h.roundTrip(p, "lifecycle"); err != nil {
 		return err
 	}
 	switch op {

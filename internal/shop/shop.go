@@ -15,6 +15,7 @@ import (
 	"fmt"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"vmplants/internal/classad"
 	"vmplants/internal/core"
@@ -39,17 +40,36 @@ type Shop struct {
 	// cache classad information … to speed up queries").
 	CacheAds bool
 
+	// BidTimeout bounds how long a bidding round waits for any single
+	// plant's estimate, in virtual time. When positive, bids are
+	// collected concurrently and the round closes at the deadline with
+	// whatever bids arrived (quorum ≥ 1: a round with no responses at
+	// all keeps waiting for the first). 0 — the default — keeps the
+	// legacy sequential round that waits for every plant.
+	BidTimeout time.Duration
+
+	// Breaker configures the per-plant circuit breakers; the zero value
+	// disables them (legacy behavior).
+	Breaker  BreakerConfig
+	breakers map[string]*breaker
+
 	// mu guards the bid audit log, which out-of-kernel observers (debug
 	// endpoints, tests) read while creations append to it.
 	mu   sync.Mutex
 	bids []BidRecord // audit log for experiments
 
 	// Telemetry instruments (nil-safe no-ops when unset).
-	tel          *telemetry.Hub
-	mCreates     *telemetry.Counter
-	mCreateFails *telemetry.Counter
-	mBidRounds   *telemetry.Counter
-	hCreateSecs  *telemetry.Histogram
+	tel             *telemetry.Hub
+	mCreates        *telemetry.Counter
+	mCreateFails    *telemetry.Counter
+	mBidRounds      *telemetry.Counter
+	mDegradedRounds *telemetry.Counter
+	mFailovers      *telemetry.Counter
+	mBreakerOpens   *telemetry.Counter
+	mRecoveredRts   *telemetry.Counter
+	gMissingBids    *telemetry.Gauge
+	gOpenBreakers   *telemetry.Gauge
+	hCreateSecs     *telemetry.Histogram
 }
 
 // BidRecord is one bidding round's outcome.
@@ -63,11 +83,12 @@ type BidRecord struct {
 // tie-breaking deterministically.
 func New(name string, plants []PlantHandle, seed int64) *Shop {
 	return &Shop{
-		name:   name,
-		plants: plants,
-		rng:    sim.NewRNG(seed),
-		routes: make(map[core.VMID]PlantHandle),
-		cache:  make(map[core.VMID]*classad.Ad),
+		name:     name,
+		plants:   plants,
+		rng:      sim.NewRNG(seed),
+		routes:   make(map[core.VMID]PlantHandle),
+		cache:    make(map[core.VMID]*classad.Ad),
+		breakers: make(map[string]*breaker),
 	}
 }
 
@@ -100,6 +121,12 @@ func (s *Shop) SetTelemetry(h *telemetry.Hub) {
 	s.mCreates = h.Counter("shop.creations")
 	s.mCreateFails = h.Counter("shop.create_failures")
 	s.mBidRounds = h.Counter("shop.bid_rounds")
+	s.mDegradedRounds = h.Counter("shop.degraded_bid_rounds")
+	s.mFailovers = h.Counter("shop.failovers")
+	s.mBreakerOpens = h.Counter("shop.breaker_opens")
+	s.mRecoveredRts = h.Counter("shop.recovered_routes")
+	s.gMissingBids = h.Gauge("shop.missing_bids")
+	s.gOpenBreakers = h.Gauge("shop.open_breakers")
 	s.hCreateSecs = h.Histogram("shop.create_secs")
 }
 
@@ -138,73 +165,236 @@ func (s *Shop) Create(p *sim.Proc, spec *core.Spec) (_ core.VMID, _ *classad.Ad,
 		return "", nil, fmt.Errorf("shop %s: bad Requirements: %w", s.name, err)
 	}
 	for len(candidates) > 0 {
-		// Bidding round: ask every remaining plant for an estimate.
+		// Breaker gate: skip plants whose breaker is open. When every
+		// remaining candidate is refused, probe them all anyway —
+		// availability beats protection once nothing else is left.
+		round := candidates
+		if s.Breaker.Threshold > 0 {
+			var allowed []PlantHandle
+			for _, h := range candidates {
+				if s.breakerFor(h.Name()).allow(p.Now()) {
+					allowed = append(allowed, h)
+				}
+			}
+			if len(allowed) > 0 {
+				round = allowed
+			}
+		}
+		// Bidding round: ask each plant in the round for an estimate.
 		s.mBidRounds.Inc()
 		bidSp := sp.Child(p, "shop.bid").
-			SetInt("candidates", int64(len(candidates)))
-		type bid struct {
-			h PlantHandle
-			c core.Cost
-		}
-		var feasible []bid
-		for _, h := range candidates {
-			c, plantAd, err := h.Estimate(p, spec)
-			if err != nil || !c.OK() {
-				continue
-			}
-			// Classad matchmaking (Raman et al.): the request's
-			// Requirements must accept the plant's resource ad, and the
-			// plant's policy Requirements must accept the request.
-			if plantAd != nil && !classad.Match(reqAd, plantAd) {
-				continue
-			}
-			rec.Costs[h.Name()] = c
-			feasible = append(feasible, bid{h, c})
-		}
+			SetInt("candidates", int64(len(round)))
+		feasible := s.collectBids(p, round, spec, reqAd, &rec, bidSp)
 		bidSp.SetInt("feasible", int64(len(feasible))).End(p)
 		if len(feasible) == 0 {
 			s.logBid(rec)
 			return "", nil, fmt.Errorf("shop %s: no plant can satisfy the request", s.name)
 		}
-		// Lowest bid wins; ties broken uniformly at random ("The VMShop
-		// picks one plant at random", §3.4).
-		best := feasible[0].c
-		for _, b := range feasible[1:] {
-			if b.c < best {
-				best = b.c
+		// Dispatch to the cheapest bidder; on a transient failure
+		// (unreachable plant, crash or I/O error mid-creation — the
+		// loser's partial clone is already destroyed plant-side), fail
+		// over to the next-cheapest bid from the same round.
+		first := true
+		for len(feasible) > 0 {
+			winner := s.pickWinner(feasible)
+			if !first {
+				s.mFailovers.Inc()
+				sp.Set("failover", winner.Name())
 			}
-		}
-		var winners []PlantHandle
-		for _, b := range feasible {
-			if b.c == best {
-				winners = append(winners, b.h)
+			first = false
+			ad, err := winner.Create(p, id, spec)
+			if err == nil {
+				s.noteSuccess(winner.Name())
+				rec.Winner = winner.Name()
+				s.logBid(rec)
+				s.routes[id] = winner
+				if s.CacheAds {
+					s.cache[id] = ad.Clone()
+				}
+				sp.Set("winner", winner.Name())
+				return id, ad, nil
 			}
-		}
-		winner := winners[s.rng.Intn(len(winners))]
-
-		ad, err := winner.Create(p, id, spec)
-		if err == nil {
-			rec.Winner = winner.Name()
-			s.logBid(rec)
-			s.routes[id] = winner
-			if s.CacheAds {
-				s.cache[id] = ad.Clone()
+			if !errors.Is(err, ErrPlantDown) && !errors.Is(err, core.ErrTransient) {
+				// A plant-internal creation failure (e.g. a configuration
+				// action whose error policy aborted) is the request's
+				// outcome, reported to the client: it would fail the same
+				// way on every plant. Only transient failures fail over.
+				s.logBid(rec)
+				return "", nil, fmt.Errorf("shop %s: plant %s: %w", s.name, winner.Name(), err)
 			}
-			sp.Set("winner", winner.Name())
-			return id, ad, nil
+			s.noteFailure(p.Now(), winner.Name())
+			feasible = withoutBid(feasible, winner)
+			candidates = without(candidates, winner)
 		}
-		if !errors.Is(err, ErrPlantDown) {
-			// A plant-internal creation failure (e.g. a configuration
-			// action whose error policy aborted) is the request's
-			// outcome, reported to the client; only transport failures
-			// trigger a re-bid among the surviving plants.
-			s.logBid(rec)
-			return "", nil, fmt.Errorf("shop %s: plant %s: %w", s.name, winner.Name(), err)
-		}
-		candidates = without(candidates, winner)
+		// Every bidder of this round failed transiently; re-bid among
+		// whoever is left (plants that bid infeasible, were skipped by
+		// their breaker, or missed the round's deadline).
 	}
 	s.logBid(rec)
 	return "", nil, fmt.Errorf("shop %s: every feasible plant failed to create the VM", s.name)
+}
+
+// bid is one feasible answer from a bidding round.
+type bid struct {
+	h PlantHandle
+	c core.Cost
+}
+
+// pickWinner selects the cheapest bid, ties broken uniformly at random
+// ("The VMShop picks one plant at random", §3.4).
+func (s *Shop) pickWinner(feasible []bid) PlantHandle {
+	best := feasible[0].c
+	for _, b := range feasible[1:] {
+		if b.c < best {
+			best = b.c
+		}
+	}
+	var winners []PlantHandle
+	for _, b := range feasible {
+		if b.c == best {
+			winners = append(winners, b.h)
+		}
+	}
+	return winners[s.rng.Intn(len(winners))]
+}
+
+func withoutBid(bs []bid, drop PlantHandle) []bid {
+	out := bs[:0]
+	for _, b := range bs {
+		if b.h != drop {
+			out = append(out, b)
+		}
+	}
+	return out
+}
+
+// collectBids runs one bidding round over the given plants and returns
+// the feasible bids. With no BidTimeout it asks each plant in turn and
+// waits as long as each takes — the legacy round. With a timeout it
+// asks all plants concurrently and closes the round at the deadline
+// with whatever arrived; responses past the deadline are discarded, a
+// round that would otherwise close empty-handed extends until its
+// first response (quorum ≥ 1), and plants that missed the deadline are
+// charged a breaker failure.
+func (s *Shop) collectBids(p *sim.Proc, round []PlantHandle, spec *core.Spec, reqAd *classad.Ad, rec *BidRecord, bidSp *telemetry.Span) []bid {
+	type answer struct {
+		h   PlantHandle
+		c   core.Cost
+		ad  *classad.Ad
+		err error
+	}
+	var answers []answer
+	if s.BidTimeout <= 0 {
+		for _, h := range round {
+			c, plantAd, err := h.Estimate(p, spec)
+			answers = append(answers, answer{h, c, plantAd, err})
+		}
+	} else {
+		st := struct {
+			open    bool
+			pending int
+			got     []answer
+		}{open: true, pending: len(round)}
+		client := p
+		for _, h := range round {
+			h := h
+			p.Kernel().Spawn("bid/"+h.Name(), func(bp *sim.Proc) {
+				c, plantAd, err := h.Estimate(bp, spec)
+				if !st.open {
+					return // the round closed without us; bid discarded
+				}
+				st.pending--
+				st.got = append(st.got, answer{h, c, plantAd, err})
+				client.WakeUp()
+			})
+		}
+		deadline := p.Now() + s.BidTimeout
+		for st.pending > 0 {
+			if len(st.got) > 0 && p.Now() >= deadline {
+				break
+			}
+			wait := deadline - p.Now()
+			if wait <= 0 {
+				// Past the deadline with nothing in hand: extend in
+				// timeout-sized grace periods until the first response.
+				wait = s.BidTimeout
+			}
+			p.Wait(wait)
+		}
+		st.open = false
+		answers = st.got
+		if st.pending > 0 {
+			// Degraded round: proceed on partial bids; laggards count
+			// as transport failures toward their breakers.
+			s.mDegradedRounds.Inc()
+			bidSp.SetInt("missing", int64(st.pending))
+			answered := make(map[string]bool, len(answers))
+			for _, a := range answers {
+				answered[a.h.Name()] = true
+			}
+			for _, h := range round {
+				if !answered[h.Name()] {
+					s.noteFailure(p.Now(), h.Name())
+				}
+			}
+		}
+		s.gMissingBids.Set(int64(st.pending))
+	}
+
+	var feasible []bid
+	for _, a := range answers {
+		if a.err != nil {
+			s.noteFailure(p.Now(), a.h.Name())
+			continue
+		}
+		s.noteSuccess(a.h.Name())
+		if !a.c.OK() {
+			continue
+		}
+		// Classad matchmaking (Raman et al.): the request's
+		// Requirements must accept the plant's resource ad, and the
+		// plant's policy Requirements must accept the request.
+		if a.ad != nil && !classad.Match(reqAd, a.ad) {
+			continue
+		}
+		rec.Costs[a.h.Name()] = a.c
+		feasible = append(feasible, bid{a.h, a.c})
+	}
+	return feasible
+}
+
+// Recover rebuilds the shop's soft routing state by asking every plant
+// for its VM inventory (paper §3.1: an active VM's classad "is not part
+// of the state that needs to be maintained by VMShop" — it can always
+// be re-learned). All existing routes are dropped first, so routes to
+// unreachable plants disappear rather than being fabricated: the shop
+// honestly reports not knowing those VMs until the plant returns and a
+// later Recover — or a per-query recovery sweep — re-learns them. It
+// returns the number of routes learned and the names of the plants it
+// could not reach.
+func (s *Shop) Recover(p *sim.Proc) (routes int, unreachable []string) {
+	sp := s.tel.T().Start(p, "shop.recover").Set("shop", s.name)
+	defer func() {
+		sp.SetInt("routes", int64(routes)).
+			SetInt("unreachable", int64(len(unreachable))).
+			End(p)
+	}()
+	s.routes = make(map[core.VMID]PlantHandle)
+	for _, h := range s.plants {
+		ids, err := h.List(p)
+		if err != nil {
+			unreachable = append(unreachable, h.Name())
+			s.noteFailure(p.Now(), h.Name())
+			continue
+		}
+		s.noteSuccess(h.Name())
+		for _, id := range ids {
+			s.routes[id] = h
+			routes++
+		}
+	}
+	s.mRecoveredRts.Add(int64(routes))
+	return routes, unreachable
 }
 
 func without(hs []PlantHandle, drop PlantHandle) []PlantHandle {

@@ -1,0 +1,56 @@
+package workload
+
+import (
+	"testing"
+
+	"vmplants/internal/fault"
+)
+
+// The chaos run is the acceptance gate for the whole failure-recovery
+// stack: every request must eventually succeed via failover and retry,
+// and draining the site must leave nothing behind.
+func TestChaosRunCompletesEveryRequest(t *testing.T) {
+	res, err := RunChaos(42, ChaosOptions{})
+	if err != nil {
+		t.Fatalf("RunChaos: %v", err)
+	}
+	if res.Succeeded != res.Requests {
+		t.Fatalf("succeeded %d of %d requests:\n%s", res.Succeeded, res.Requests, res.Fingerprint)
+	}
+	if res.OrphanVMs != 0 {
+		t.Errorf("%d orphaned VMs after drain", res.OrphanVMs)
+	}
+	if res.LeakedNets != 0 {
+		t.Errorf("%d leaked host-only networks after drain", res.LeakedNets)
+	}
+	if res.RoutesRecov != res.Requests {
+		t.Errorf("shop.Recover rebuilt %d routes, want %d", res.RoutesRecov, res.Requests)
+	}
+	// The default mix is hot enough that a 32-request run must actually
+	// have exercised the machinery, or the experiment proves nothing.
+	if total := res.InjectionTotal(fault.RPCDrop) + res.InjectionTotal(fault.CloneIO) +
+		res.InjectionTotal(fault.PlantCrash) + res.InjectionTotal(fault.SlowBid); total == 0 {
+		t.Error("no faults injected; chaos run exercised nothing")
+	}
+}
+
+func TestChaosRunDeterministicAcrossRuns(t *testing.T) {
+	a, err := RunChaos(7, ChaosOptions{Requests: 16})
+	if err != nil {
+		t.Fatalf("run 1: %v", err)
+	}
+	b, err := RunChaos(7, ChaosOptions{Requests: 16})
+	if err != nil {
+		t.Fatalf("run 2: %v", err)
+	}
+	if a.Fingerprint != b.Fingerprint {
+		t.Fatalf("same seed diverged:\n--- run 1:\n%s\n--- run 2:\n%s", a.Fingerprint, b.Fingerprint)
+	}
+	c, err := RunChaos(8, ChaosOptions{Requests: 16})
+	if err != nil {
+		t.Fatalf("run 3: %v", err)
+	}
+	if c.Fingerprint == a.Fingerprint {
+		t.Error("different seeds produced identical fingerprints")
+	}
+}

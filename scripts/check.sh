@@ -9,3 +9,7 @@ cd "$(dirname "$0")/.."
 go build ./...
 go vet ./...
 go test -race ./...
+
+# Failure-recovery smoke: deterministic chaos run that must complete
+# every request via failover/retry with zero orphans or leaks.
+go run ./cmd/vmbench -exp chaos -series smoke >/dev/null
