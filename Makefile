@@ -1,6 +1,10 @@
 GO ?= go
 
-.PHONY: build test race vet check bench chaos
+# Pin the linter so local runs and CI agree on the finding set.
+STATICCHECK_VERSION ?= 2024.1.1
+STATICCHECK ?= staticcheck
+
+.PHONY: build test race vet lint check bench chaos pipeline
 
 build:
 	$(GO) build ./...
@@ -13,6 +17,15 @@ vet:
 
 race:
 	$(GO) test -race ./...
+
+# lint runs staticcheck at the pinned version. Install it once with:
+#   go install honnef.co/go/tools/cmd/staticcheck@$(STATICCHECK_VERSION)
+lint:
+	@command -v $(STATICCHECK) >/dev/null 2>&1 || { \
+		echo "lint: staticcheck not found; install with:" >&2; \
+		echo "  go install honnef.co/go/tools/cmd/staticcheck@$(STATICCHECK_VERSION)" >&2; \
+		exit 1; }
+	$(STATICCHECK) ./...
 
 # check is the full pre-merge gate: build, vet, and the test suite
 # under the race detector (instrumentation runs concurrently with the
@@ -29,3 +42,9 @@ bench:
 # rerun reproduces byte-identical results.
 chaos:
 	$(GO) run ./cmd/vmbench -exp chaos -series smoke
+
+# pipeline is the batched-creation smoke: throughput at batch sizes
+# 1/4/16 plus the serial-vs-batch determinism check; exits nonzero if
+# batch-16 speedup over batch-1 drops below 3x or determinism breaks.
+pipeline:
+	$(GO) run ./cmd/vmbench -exp pipeline -series smoke

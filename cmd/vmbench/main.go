@@ -25,7 +25,7 @@ import (
 
 func main() {
 	var (
-		exp      = flag.String("exp", "all", "experiment: all, fig4, fig5, fig6, copy, uml, cost, overhead, anatomy, trace, ablations, extensions, chaos")
+		exp      = flag.String("exp", "all", "experiment: all, fig4, fig5, fig6, copy, uml, cost, overhead, anatomy, trace, ablations, extensions, chaos, pipeline")
 		seed     = flag.Int64("seed", 42, "random seed")
 		series   = flag.String("series", "paper", "request series scale: paper or smoke")
 		traceOut = flag.String("trace", "", "write the trace experiment's spans as JSONL to this file")
@@ -248,6 +248,31 @@ func main() {
 					res.Succeeded, res.Requests, res.OrphanVMs, res.LeakedNets, reproducible)
 			}
 		},
+		"pipeline": func() {
+			opts := workload.PipelineOptions{}
+			if *series == "smoke" {
+				opts.Sizes = []int{1, 4, 16}
+			}
+			res, err := workload.RunPipeline(*seed, opts)
+			if err != nil {
+				log.Fatalf("vmbench: %v", err)
+			}
+			header("Pipeline: batched creation throughput (8 plants, 64 MB workspaces)")
+			fmt.Printf("%5s %4s %4s %12s %14s %10s %14s %12s\n",
+				"batch", "ok", "fail", "makespan(s)", "thruput(vm/s)", "cache h/m", "adm-wait p99", "max-inflight")
+			for _, bp := range res.Batches {
+				fmt.Printf("%5d %4d %4d %12.1f %14.4f %6d/%-4d %13.1fs %12d\n",
+					bp.Size, bp.OK, bp.Failed, bp.MakespanSecs, bp.Throughput,
+					bp.CacheHits, bp.CacheMisses, bp.AdmissionWait.P99, bp.MaxInflight)
+			}
+			speedup := res.SpeedupOver(16, 1)
+			fmt.Printf("\nbatch-16 vs batch-1 throughput: %.1f×\n", speedup)
+			fmt.Printf("serial vs batch single-request creation log byte-identical: %v\n", res.DeterminismOK)
+			if speedup < 3 || !res.DeterminismOK {
+				log.Fatalf("vmbench: pipeline run failed its invariants (speedup %.2f× < 3, deterministic %v)",
+					speedup, res.DeterminismOK)
+			}
+		},
 		"ablations": func() {
 			a1, err := workload.RunAblationNoPartialMatch(*seed, 4)
 			if err != nil {
@@ -272,7 +297,7 @@ func main() {
 		},
 	}
 
-	order := []string{"fig4", "fig5", "fig6", "copy", "uml", "cost", "overhead", "anatomy", "trace", "ablations", "extensions", "chaos"}
+	order := []string{"fig4", "fig5", "fig6", "copy", "uml", "cost", "overhead", "anatomy", "trace", "ablations", "extensions", "chaos", "pipeline"}
 	switch *exp {
 	case "all":
 		for _, name := range order {

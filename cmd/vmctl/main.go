@@ -8,6 +8,7 @@
 //	vmctl -shop localhost:7000 query vm-shop-1
 //	vmctl -shop localhost:7000 destroy vm-shop-1
 //	vmctl stats -debug localhost:7070
+//	vmctl queue -debug localhost:7070,localhost:7071
 package main
 
 import (
@@ -20,6 +21,7 @@ import (
 	"net/http"
 	"os"
 	"sort"
+	"strings"
 	"time"
 
 	"vmplants/internal/proto"
@@ -57,6 +59,8 @@ func main() {
 		doDot(args[1:])
 	case "stats":
 		doStats(args[1:])
+	case "queue":
+		doQueue(args[1:])
 	case "publish":
 		if len(args) < 3 {
 			usage()
@@ -69,7 +73,7 @@ func main() {
 }
 
 func usage() {
-	fmt.Fprintln(os.Stderr, "usage: vmctl [-shop addr] create [-spec file | -example] | query <vmid> | destroy <vmid> | suspend <vmid> | resume <vmid> | publish <vmid> <image> | ping | dot [-spec file] | stats [-debug addr] [-traces n]")
+	fmt.Fprintln(os.Stderr, "usage: vmctl [-shop addr] create [-spec file | -example] | query <vmid> | destroy <vmid> | suspend <vmid> | resume <vmid> | publish <vmid> <image> | ping | dot [-spec file] | stats [-debug addr] [-traces n] | queue [-debug addr,addr...]")
 	os.Exit(2)
 }
 
@@ -180,6 +184,54 @@ func doStats(args []string) {
 			log.Fatalf("vmctl: %v", err)
 		}
 		fmt.Printf("\n# most recent %d spans (JSONL)\n%s", *traces, body)
+	}
+}
+
+// doQueue summarizes the creation pipeline's admission state across one
+// or more daemons: per-plant in-flight clones and admission queue depth,
+// plus the shop-side batch backlog where those gauges exist.
+func doQueue(args []string) {
+	fs := flag.NewFlagSet("queue", flag.ExitOnError)
+	debugAddrs := fs.String("debug", "localhost:7070", "comma-separated daemon debug HTTP addresses")
+	fs.Parse(args)
+
+	// Only the admission-control surface; everything else is `stats`.
+	gauges := []string{
+		"shop.batch_queue_depth",
+		"shop.inflight_creates",
+		"plant.clone_inflight",
+		"plant.clone_inflight_max",
+		"plant.admission_queue",
+	}
+	for _, addr := range strings.Split(*debugAddrs, ",") {
+		addr = strings.TrimSpace(addr)
+		if addr == "" {
+			continue
+		}
+		body, err := httpGet(fmt.Sprintf("http://%s/metrics", addr))
+		if err != nil {
+			log.Fatalf("vmctl: %v", err)
+		}
+		var snap map[string]any
+		if err := json.Unmarshal(body, &snap); err != nil {
+			log.Fatalf("vmctl: bad /metrics response from %s: %v", addr, err)
+		}
+		fmt.Printf("%s:\n", addr)
+		found := false
+		for _, n := range gauges {
+			if v, ok := snap[n]; ok {
+				fmt.Printf("  %-26s %v\n", n, v)
+				found = true
+			}
+		}
+		if v, ok := snap["plant.admission_wait_secs"].(map[string]any); ok {
+			fmt.Printf("  %-26s count=%v mean=%s p99=%s max=%s\n",
+				"plant.admission_wait_secs", v["count"], num(v["mean"]), num(v["p99"]), num(v["max"]))
+			found = true
+		}
+		if !found {
+			fmt.Println("  no pipeline metrics (daemon runs neither a shop nor a plant?)")
+		}
 	}
 }
 

@@ -1,0 +1,90 @@
+package plant
+
+import (
+	"vmplants/internal/sim"
+)
+
+// Admission control for the clone stage (the parallel creation
+// pipeline's per-plant throttle): at most K clone state-copies may be in
+// flight on one plant at a time. The cap keeps a batch of creations
+// from thrashing the host — each in-flight VMware clone holds a redo
+// copy, an NFS memory-image stream and a local read-back, so unbounded
+// concurrency would just queue deeper inside the disk pipes while
+// pinning memory for every partially built VM.
+//
+// The gate is a FIFO sim.Resource, so admission order is deterministic
+// and an uncontended acquire costs zero virtual time: a single request
+// on an idle plant takes exactly the path (and the timing) it took
+// before the gate existed.
+
+// cloneSlotBytesPerMB and cloneSlotDiskBps calibrate the derived cap:
+// one slot per ~384 MB of free RAM (a 64 MB guest plus its copied
+// state and daemon overhead) and one per 10 MB/s of local disk
+// bandwidth, whichever is scarcer.
+const (
+	cloneSlotFreeMBPer = 384
+	cloneSlotDiskBps   = 10e6
+	cloneSlotMin       = 1
+	cloneSlotMax       = 8
+)
+
+// deriveCloneSlots computes the admission cap from the host's classad
+// attributes when Config.CloneSlots is unset:
+//
+//	K = clamp(min(FreeMemoryMB/384, LocalDiskBps/10MBps), 1, 8)
+//
+// On the default testbed node (1536 MB RAM, 35 MB/s local disk) this
+// yields min(4, 3) = 3.
+func (pl *Plant) deriveCloneSlots() int {
+	byMem := pl.node.FreeMB() / cloneSlotFreeMBPer
+	byDisk := int(pl.node.Params().LocalDiskBps / cloneSlotDiskBps)
+	k := byMem
+	if byDisk < k {
+		k = byDisk
+	}
+	if k < cloneSlotMin {
+		k = cloneSlotMin
+	}
+	if k > cloneSlotMax {
+		k = cloneSlotMax
+	}
+	return k
+}
+
+// CloneSlots reports the plant's admission cap K.
+func (pl *Plant) CloneSlots() int { return pl.cloneGate.Capacity() }
+
+// InflightClones reports how many clones currently hold a slot.
+func (pl *Plant) InflightClones() int { return pl.cloneGate.InUse() }
+
+// AdmissionQueueLen reports how many creations are waiting for a slot.
+func (pl *Plant) AdmissionQueueLen() int { return pl.cloneGate.QueueLen() }
+
+// MaxInflightClones reports the high-water mark of concurrently
+// admitted clones over the plant's lifetime.
+func (pl *Plant) MaxInflightClones() int {
+	return int(pl.gCloneInflightMax.Value())
+}
+
+// admitClone takes one clone slot, recording queue depth and the wait
+// it cost in virtual time. The returned release function gives the slot
+// back and must be called exactly once, on success and error paths
+// alike.
+func (pl *Plant) admitClone(p *sim.Proc) (release func()) {
+	pl.gAdmissionQueue.Set(int64(pl.cloneGate.QueueLen() + 1))
+	waitStart := p.Now()
+	pl.cloneGate.Acquire(p, 1)
+	pl.hAdmissionWait.Observe((p.Now() - waitStart).Seconds())
+	pl.gAdmissionQueue.Set(int64(pl.cloneGate.QueueLen()))
+	pl.gCloneInflight.Set(int64(pl.cloneGate.InUse()))
+	pl.gCloneInflightMax.SetMax(int64(pl.cloneGate.InUse()))
+	released := false
+	return func() {
+		if released {
+			return
+		}
+		released = true
+		pl.cloneGate.Release(p, 1)
+		pl.gCloneInflight.Set(int64(pl.cloneGate.InUse()))
+	}
+}

@@ -71,6 +71,11 @@ type Config struct {
 	// site refuse requests during matchmaking (e.g.
 	// `TARGET.MemoryMB <= 256 && TARGET.Domain != "banned.example"`).
 	PolicyAd *classad.Ad
+	// CloneSlots caps concurrently admitted clone state-copies (the
+	// creation pipeline's per-plant admission control). 0 derives the
+	// cap from the host's free memory and local disk bandwidth; see
+	// deriveCloneSlots.
+	CloneSlots int
 	// Telemetry receives the plant's spans and metrics; nil disables
 	// instrumentation at zero cost.
 	Telemetry *telemetry.Hub
@@ -88,10 +93,10 @@ type precreated struct {
 
 // Plant is one VMPlant instance.
 type Plant struct {
-	name string
-	cfg  Config
-	node *cluster.Node
-	wh   *warehouse.Warehouse
+	name   string
+	cfg    Config
+	node   *cluster.Node
+	wh     *warehouse.Warehouse
 	nets   *simnet.NetPool
 	macs   *simnet.MACPool
 	info   *InfoSystem
@@ -106,6 +111,15 @@ type Plant struct {
 	poolSeq   int
 	creations []CreateStats
 	down      bool
+	// creating reserves capacity for in-flight creations so a batch of
+	// concurrent orders cannot overshoot MaxVMs between the capacity
+	// check and info.store.
+	creating int
+
+	// cloneGate is the admission-control semaphore: at most K clone
+	// state-copies in flight (see admission.go). Only kernel processes
+	// touch it, so it needs no lock.
+	cloneGate *sim.Resource
 	// ledger is the host-side record of VMs that survive a daemon
 	// crash: the production line's processes keep running when the
 	// management daemon dies, so Recover rebuilds the information
@@ -130,6 +144,11 @@ type Plant struct {
 	hCreateSecs   *telemetry.Histogram
 	hCloneSecs    *telemetry.Histogram
 	hConfigSecs   *telemetry.Histogram
+
+	gCloneInflight    *telemetry.Gauge
+	gCloneInflightMax *telemetry.Gauge
+	gAdmissionQueue   *telemetry.Gauge
+	hAdmissionWait    *telemetry.Histogram
 }
 
 // CreateStats records one successful creation's breakdown.
@@ -174,7 +193,7 @@ func New(name string, node *cluster.Node, wh *warehouse.Warehouse, cfg Config) *
 			faults.SetProb(name, fault.ActionFail, op, prob)
 		}
 	}
-	return &Plant{
+	pl := &Plant{
 		name:   name,
 		cfg:    cfg,
 		node:   node,
@@ -203,7 +222,18 @@ func New(name string, node *cluster.Node, wh *warehouse.Warehouse, cfg Config) *
 		hCreateSecs:   tel.Histogram("plant.create_secs"),
 		hCloneSecs:    tel.Histogram("plant.clone_secs"),
 		hConfigSecs:   tel.Histogram("plant.configure_secs"),
+
+		gCloneInflight:    tel.Gauge("plant.clone_inflight"),
+		gCloneInflightMax: tel.Gauge("plant.clone_inflight_max"),
+		gAdmissionQueue:   tel.Gauge("plant.admission_queue"),
+		hAdmissionWait:    tel.Histogram("plant.admission_wait_secs"),
 	}
+	slots := cfg.CloneSlots
+	if slots <= 0 {
+		slots = pl.deriveCloneSlots()
+	}
+	pl.cloneGate = sim.NewResource(name+"/clone-slots", slots)
+	return pl
 }
 
 // Name returns the plant's name.
@@ -253,6 +283,8 @@ func (pl *Plant) ResourceAd() *classad.Ad {
 		SetInt("VMs", int64(pl.info.Count())).
 		SetInt("MaxVMs", int64(pl.cfg.MaxVMs)).
 		SetInt("FreeNetworks", int64(pl.nets.FreeCount())).
+		SetInt("CloneSlots", int64(pl.cloneGate.Capacity())).
+		SetInt("InflightClones", int64(pl.cloneGate.InUse())).
 		SetStrings("GoldenImages", pl.wh.List()...)
 	if pl.cfg.PolicyAd != nil {
 		ad.Merge(pl.cfg.PolicyAd)
@@ -331,8 +363,23 @@ func (pl *Plant) Create(p *sim.Proc, id core.VMID, spec *core.Spec) (_ *classad.
 	if err := spec.Validate(); err != nil {
 		return nil, err
 	}
-	if pl.cfg.MaxVMs > 0 && pl.info.Count() >= pl.cfg.MaxVMs {
-		return nil, fmt.Errorf("plant %s: at VM capacity (%d)", pl.name, pl.cfg.MaxVMs)
+	// Capacity check with reservation: concurrent pipeline orders each
+	// hold a slot in `creating` until their VM lands in the information
+	// system, so a burst cannot overshoot MaxVMs between check and
+	// store. Serially this is the same comparison as before.
+	if pl.cfg.MaxVMs > 0 {
+		pl.mu.Lock()
+		if pl.info.Count()+pl.creating >= pl.cfg.MaxVMs {
+			pl.mu.Unlock()
+			return nil, fmt.Errorf("plant %s: at VM capacity (%d)", pl.name, pl.cfg.MaxVMs)
+		}
+		pl.creating++
+		pl.mu.Unlock()
+		defer func() {
+			pl.mu.Lock()
+			pl.creating--
+			pl.mu.Unlock()
+		}()
 	}
 	planSp := sp.Child(p, "plan")
 	best, err := pl.plan(spec)
@@ -350,10 +397,14 @@ func (pl *Plant) Create(p *sim.Proc, id core.VMID, spec *core.Spec) (_ *classad.
 	} else {
 		pl.mImageMisses.Inc()
 	}
-	golden, ok := pl.wh.Lookup(best.Candidate.ID)
-	if !ok {
-		return nil, fmt.Errorf("plant %s: matched image %q vanished", pl.name, best.Candidate.ID)
+	// Open the matched image through the warehouse's hot clone cache:
+	// repeat clones of the same golden machine skip the descriptor
+	// re-parse and extent walk.
+	cctx, err := pl.wh.OpenClone(best.Candidate.ID)
+	if err != nil {
+		return nil, fmt.Errorf("plant %s: matched image %q vanished: %w", pl.name, best.Candidate.ID, err)
 	}
+	golden := cctx.Image
 	backend, err := pl.cfg.Backends.Get(spec.Backend)
 	if err != nil {
 		return nil, err
@@ -371,6 +422,9 @@ func (pl *Plant) Create(p *sim.Proc, id core.VMID, spec *core.Spec) (_ *classad.
 
 	// Clone — or resume a speculatively pre-created clone of the same
 	// golden image, paying only the resume instead of the state copy.
+	// The admission gate bounds in-flight state copies on this host; an
+	// uncontended acquire costs zero virtual time.
+	releaseSlot := pl.admitClone(p)
 	cloneSp := sp.Child(p, "clone").
 		Set("golden", golden.Name).
 		Set("backend", backend.Name())
@@ -396,6 +450,7 @@ func (pl *Plant) Create(p *sim.Proc, id core.VMID, spec *core.Spec) (_ *classad.
 		var err error
 		vm, cloneStats, err = backend.Clone(p, pl.node, golden, id, pl.cfg.CloneMode)
 		if err != nil {
+			releaseSlot()
 			releaseNet()
 			releaseRef()
 			cerr := fmt.Errorf("plant %s: clone: %w", pl.name, err)
@@ -407,6 +462,7 @@ func (pl *Plant) Create(p *sim.Proc, id core.VMID, spec *core.Spec) (_ *classad.
 		// error marked transient so the shop fails over.
 		if pl.faults.Should(pl.name, fault.CloneIO, "") {
 			vm.Collect(p)
+			releaseSlot()
 			releaseNet()
 			releaseRef()
 			cerr := fmt.Errorf("plant %s: clone: %w: injected I/O error", pl.name, core.ErrTransient)
@@ -416,6 +472,9 @@ func (pl *Plant) Create(p *sim.Proc, id core.VMID, spec *core.Spec) (_ *classad.
 	}
 	pl.recordClone(cloneSp, cloneStart, cloneStats, backend.Name(), hit)
 	cloneSp.End(p)
+	// The state copy is done: free the slot before configuration, which
+	// contends on guest CPU rather than host disk.
+	releaseSlot()
 	if err := vm.AttachNIC(honet, pl.macs.Next()); err != nil {
 		vm.Collect(p)
 		releaseNet()

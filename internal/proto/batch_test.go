@@ -1,0 +1,104 @@
+package proto
+
+import (
+	"testing"
+
+	"vmplants/internal/classad"
+)
+
+func sampleBatchCreate(t testing.TB) *Message {
+	return &Message{
+		Kind: KindBatchCreateRequest,
+		Seq:  9,
+		BatchCreate: &BatchCreateRequest{
+			Items: []CreateRequest{
+				*sampleCreate(t).Create,
+				{
+					Name:     "workspace-2",
+					Arch:     "x86",
+					MemoryMB: 256,
+					DiskMB:   2048,
+					Domain:   "ufl.edu",
+					Graph:    sampleGraph(t),
+				},
+			},
+		},
+	}
+}
+
+func TestBatchCreateRequestRoundTrip(t *testing.T) {
+	blob, err := Marshal(sampleBatchCreate(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := Unmarshal(blob)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Kind != KindBatchCreateRequest || m.Seq != 9 {
+		t.Fatalf("envelope = %s seq %d", m.Kind, m.Seq)
+	}
+	items := m.BatchCreate.Items
+	if len(items) != 2 {
+		t.Fatalf("%d items", len(items))
+	}
+	if items[0].Name != "workspace-1" || items[0].MemoryMB != 64 {
+		t.Errorf("item 0 = %+v", items[0])
+	}
+	if items[1].Name != "workspace-2" || items[1].MemoryMB != 256 {
+		t.Errorf("item 1 = %+v", items[1])
+	}
+	for i, it := range items {
+		if _, err := it.Spec(); err != nil {
+			t.Errorf("item %d spec: %v", i, err)
+		}
+	}
+}
+
+func TestBatchCreateResponseRoundTrip(t *testing.T) {
+	ad := classad.New().SetString("VMID", "vm-shop-1").SetInt("MemoryMB", 64)
+	in := &Message{
+		Kind: KindBatchCreateResponse,
+		Seq:  9,
+		BatchCreated: &BatchCreateResponse{
+			Items: []BatchCreateItem{
+				{VMID: "vm-shop-1", Ad: ad},
+				{Err: "no plant can satisfy the request"},
+			},
+		},
+	}
+	blob, err := Marshal(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := Unmarshal(blob)
+	if err != nil {
+		t.Fatal(err)
+	}
+	items := m.BatchCreated.Items
+	if len(items) != 2 {
+		t.Fatalf("%d items", len(items))
+	}
+	if items[0].VMID != "vm-shop-1" || items[0].Err != "" {
+		t.Errorf("item 0 = %+v", items[0])
+	}
+	if items[0].Ad.GetInt("MemoryMB", -1) != 64 {
+		t.Errorf("item 0 ad = %s", items[0].Ad)
+	}
+	if items[1].VMID != "" || items[1].Err == "" {
+		t.Errorf("item 1 = %+v", items[1])
+	}
+}
+
+func TestBatchCreateEnvelopeValidation(t *testing.T) {
+	// Kind says batch but the body is missing: must not marshal.
+	if _, err := Marshal(&Message{Kind: KindBatchCreateRequest}); err == nil {
+		t.Error("marshal of empty batch-create envelope succeeded")
+	}
+	// Batch body under the wrong kind: must not marshal either.
+	m := sampleBatchCreate(t)
+	m.Kind = KindCreateRequest
+	if _, err := Marshal(m); err == nil {
+		t.Error("marshal of mismatched envelope succeeded")
+	}
+}

@@ -29,48 +29,52 @@ type Kind string
 
 // Message kinds.
 const (
-	KindCreateRequest     Kind = "create-request"
-	KindCreateResponse    Kind = "create-response"
-	KindQueryRequest      Kind = "query-request"
-	KindQueryResponse     Kind = "query-response"
-	KindDestroyRequest    Kind = "destroy-request"
-	KindDestroyResponse   Kind = "destroy-response"
-	KindEstimateRequest   Kind = "estimate-request"
-	KindEstimateResponse  Kind = "estimate-response"
-	KindPublishRequest    Kind = "publish-request"
-	KindPublishResponse   Kind = "publish-response"
-	KindLifecycleRequest  Kind = "lifecycle-request"
-	KindLifecycleResponse Kind = "lifecycle-response"
-	KindListRequest       Kind = "list-request"
-	KindListResponse      Kind = "list-response"
-	KindPingRequest       Kind = "ping-request"
-	KindPingResponse      Kind = "ping-response"
-	KindError             Kind = "error"
+	KindCreateRequest       Kind = "create-request"
+	KindCreateResponse      Kind = "create-response"
+	KindBatchCreateRequest  Kind = "batch-create-request"
+	KindBatchCreateResponse Kind = "batch-create-response"
+	KindQueryRequest        Kind = "query-request"
+	KindQueryResponse       Kind = "query-response"
+	KindDestroyRequest      Kind = "destroy-request"
+	KindDestroyResponse     Kind = "destroy-response"
+	KindEstimateRequest     Kind = "estimate-request"
+	KindEstimateResponse    Kind = "estimate-response"
+	KindPublishRequest      Kind = "publish-request"
+	KindPublishResponse     Kind = "publish-response"
+	KindLifecycleRequest    Kind = "lifecycle-request"
+	KindLifecycleResponse   Kind = "lifecycle-response"
+	KindListRequest         Kind = "list-request"
+	KindListResponse        Kind = "list-response"
+	KindPingRequest         Kind = "ping-request"
+	KindPingResponse        Kind = "ping-response"
+	KindError               Kind = "error"
 )
 
 // Message is the envelope: exactly one of the pointers is non-nil,
 // matching Kind.
 type Message struct {
-	XMLName    xml.Name           `xml:"message"`
-	Kind       Kind               `xml:"kind,attr"`
-	Seq        uint64             `xml:"seq,attr"` // request/response correlation
-	Create     *CreateRequest     `xml:"create-request"`
-	Created    *CreateResponse    `xml:"create-response"`
-	Query      *QueryRequest      `xml:"query-request"`
-	Queried    *QueryResponse     `xml:"query-response"`
-	Destroy    *DestroyRequest    `xml:"destroy-request"`
-	Destroyed  *DestroyResponse   `xml:"destroy-response"`
-	Estimate   *EstimateRequest   `xml:"estimate-request"`
-	Bid        *EstimateResponse  `xml:"estimate-response"`
-	Publish    *PublishRequest    `xml:"publish-request"`
-	Published  *PublishResponse   `xml:"publish-response"`
-	Lifecycle  *LifecycleRequest  `xml:"lifecycle-request"`
-	Lifecycled *LifecycleResponse `xml:"lifecycle-response"`
-	List       *ListRequest       `xml:"list-request"`
-	Listed     *ListResponse      `xml:"list-response"`
-	Ping       *PingRequest       `xml:"ping-request"`
-	Pong       *PingResponse      `xml:"ping-response"`
-	Err        *ErrorResponse     `xml:"error"`
+	XMLName      xml.Name             `xml:"message"`
+	Kind         Kind                 `xml:"kind,attr"`
+	Seq          uint64               `xml:"seq,attr"` // request/response correlation
+	Create       *CreateRequest       `xml:"create-request"`
+	Created      *CreateResponse      `xml:"create-response"`
+	BatchCreate  *BatchCreateRequest  `xml:"batch-create-request"`
+	BatchCreated *BatchCreateResponse `xml:"batch-create-response"`
+	Query        *QueryRequest        `xml:"query-request"`
+	Queried      *QueryResponse       `xml:"query-response"`
+	Destroy      *DestroyRequest      `xml:"destroy-request"`
+	Destroyed    *DestroyResponse     `xml:"destroy-response"`
+	Estimate     *EstimateRequest     `xml:"estimate-request"`
+	Bid          *EstimateResponse    `xml:"estimate-response"`
+	Publish      *PublishRequest      `xml:"publish-request"`
+	Published    *PublishResponse     `xml:"publish-response"`
+	Lifecycle    *LifecycleRequest    `xml:"lifecycle-request"`
+	Lifecycled   *LifecycleResponse   `xml:"lifecycle-response"`
+	List         *ListRequest         `xml:"list-request"`
+	Listed       *ListResponse        `xml:"list-response"`
+	Ping         *PingRequest         `xml:"ping-request"`
+	Pong         *PingResponse        `xml:"ping-response"`
+	Err          *ErrorResponse       `xml:"error"`
 }
 
 // CreateRequest asks for a new VM built to a specification. VMID is
@@ -128,6 +132,27 @@ func FromSpec(s *core.Spec, token string) *CreateRequest {
 type CreateResponse struct {
 	VMID string      `xml:"vmid"`
 	Ad   *classad.Ad `xml:"classad"`
+}
+
+// BatchCreateRequest submits a batch of creation requests in one call;
+// the shop drives them through its concurrent pipeline and answers when
+// every request has an outcome. Not idempotent — like create-request,
+// it is never retransmitted.
+type BatchCreateRequest struct {
+	Items []CreateRequest `xml:"items>create-request"`
+}
+
+// BatchCreateItem is one request's outcome within a batch: either a
+// VMID with its classad, or an error string.
+type BatchCreateItem struct {
+	VMID string      `xml:"vmid,omitempty"`
+	Ad   *classad.Ad `xml:"classad,omitempty"`
+	Err  string      `xml:"error,omitempty"`
+}
+
+// BatchCreateResponse returns per-request outcomes in request order.
+type BatchCreateResponse struct {
+	Items []BatchCreateItem `xml:"items>item"`
 }
 
 // QueryRequest asks for an active VM's classad.
@@ -240,23 +265,25 @@ func Errorf(seq uint64, code, format string, args ...any) *Message {
 // validateEnvelope checks the Kind matches the populated body.
 func (m *Message) validateEnvelope() error {
 	bodies := map[Kind]bool{
-		KindCreateRequest:     m.Create != nil,
-		KindCreateResponse:    m.Created != nil,
-		KindQueryRequest:      m.Query != nil,
-		KindQueryResponse:     m.Queried != nil,
-		KindDestroyRequest:    m.Destroy != nil,
-		KindDestroyResponse:   m.Destroyed != nil,
-		KindEstimateRequest:   m.Estimate != nil,
-		KindEstimateResponse:  m.Bid != nil,
-		KindPublishRequest:    m.Publish != nil,
-		KindPublishResponse:   m.Published != nil,
-		KindLifecycleRequest:  m.Lifecycle != nil,
-		KindLifecycleResponse: m.Lifecycled != nil,
-		KindListRequest:       m.List != nil,
-		KindListResponse:      m.Listed != nil,
-		KindPingRequest:       m.Ping != nil,
-		KindPingResponse:      m.Pong != nil,
-		KindError:             m.Err != nil,
+		KindCreateRequest:       m.Create != nil,
+		KindCreateResponse:      m.Created != nil,
+		KindBatchCreateRequest:  m.BatchCreate != nil,
+		KindBatchCreateResponse: m.BatchCreated != nil,
+		KindQueryRequest:        m.Query != nil,
+		KindQueryResponse:       m.Queried != nil,
+		KindDestroyRequest:      m.Destroy != nil,
+		KindDestroyResponse:     m.Destroyed != nil,
+		KindEstimateRequest:     m.Estimate != nil,
+		KindEstimateResponse:    m.Bid != nil,
+		KindPublishRequest:      m.Publish != nil,
+		KindPublishResponse:     m.Published != nil,
+		KindLifecycleRequest:    m.Lifecycle != nil,
+		KindLifecycleResponse:   m.Lifecycled != nil,
+		KindListRequest:         m.List != nil,
+		KindListResponse:        m.Listed != nil,
+		KindPingRequest:         m.Ping != nil,
+		KindPingResponse:        m.Pong != nil,
+		KindError:               m.Err != nil,
 	}
 	present, known := bodies[m.Kind]
 	if !known {

@@ -1,0 +1,89 @@
+package service
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+	"time"
+
+	"vmplants/internal/core"
+	"vmplants/internal/proto"
+)
+
+func TestBatchCreateOverTCP(t *testing.T) {
+	plants := map[string]string{
+		"plantA": startPlantDaemon(t, "plantA", 3),
+		"plantB": startPlantDaemon(t, "plantB", 4),
+	}
+	shopAddr := startShopDaemon(t, plants)
+
+	c, err := proto.Dial(shopAddr, 30*time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+
+	const n = 4
+	var items []proto.CreateRequest
+	for i := 0; i < n; i++ {
+		r := createReq(t)
+		r.Name = fmt.Sprintf("batch%d", i)
+		items = append(items, *r)
+	}
+	resp, err := c.Call(&proto.Message{Kind: proto.KindBatchCreateRequest,
+		BatchCreate: &proto.BatchCreateRequest{Items: items}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.Kind != proto.KindBatchCreateResponse {
+		t.Fatalf("response kind = %s", resp.Kind)
+	}
+	got := resp.BatchCreated.Items
+	if len(got) != n {
+		t.Fatalf("%d items in response, want %d", len(got), n)
+	}
+	seen := make(map[string]bool)
+	for i, it := range got {
+		if it.Err != "" {
+			t.Fatalf("item %d: %s", i, it.Err)
+		}
+		if !strings.HasPrefix(it.VMID, "vm-shop-") || seen[it.VMID] {
+			t.Fatalf("item %d: bad or duplicate VMID %q", i, it.VMID)
+		}
+		seen[it.VMID] = true
+		if st := it.Ad.GetString(core.AttrState, ""); st != "running" {
+			t.Errorf("item %d state = %q", i, st)
+		}
+	}
+	// The batch's VMs are live: query one through the normal path.
+	q, err := c.Call(&proto.Message{Kind: proto.KindQueryRequest,
+		Query: &proto.QueryRequest{VMID: got[0].VMID}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !q.Queried.Found {
+		t.Errorf("query = %+v", q.Queried)
+	}
+}
+
+func TestBatchCreateRejectsBadItem(t *testing.T) {
+	plants := map[string]string{"plantA": startPlantDaemon(t, "plantA", 5)}
+	shopAddr := startShopDaemon(t, plants)
+
+	c, err := proto.Dial(shopAddr, 10*time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+
+	bad := *createReq(t)
+	bad.MemoryMB = 0 // invalid hardware
+	_, err = c.Call(&proto.Message{Kind: proto.KindBatchCreateRequest,
+		BatchCreate: &proto.BatchCreateRequest{Items: []proto.CreateRequest{*createReq(t), bad}}})
+	if err == nil {
+		t.Fatal("batch with an invalid item succeeded")
+	}
+	if !strings.Contains(err.Error(), "item 1") {
+		t.Errorf("error does not name the bad item: %v", err)
+	}
+}

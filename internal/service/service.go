@@ -337,6 +337,29 @@ func NewShopHandler(r *Runner, s *shop.Shop) proto.Handler {
 			return &proto.Message{Kind: proto.KindCreateResponse,
 				Created: &proto.CreateResponse{VMID: string(id), Ad: ad}}
 
+		case proto.KindBatchCreateRequest:
+			specs := make([]*core.Spec, len(req.BatchCreate.Items))
+			for i := range req.BatchCreate.Items {
+				spec, err := req.BatchCreate.Items[i].Spec()
+				if err != nil {
+					return proto.Errorf(req.Seq, proto.CodeBadRequest, "item %d: %v", i, err)
+				}
+				specs[i] = spec
+			}
+			var results []shop.BatchResult
+			if err := r.Do("shop-batch-create", func(p *sim.Proc) { results = s.CreateMany(p, specs) }); err != nil {
+				return proto.Errorf(req.Seq, proto.CodeInternal, "%v", err)
+			}
+			resp := &proto.BatchCreateResponse{Items: make([]proto.BatchCreateItem, len(results))}
+			for i, res := range results {
+				if res.Err != nil {
+					resp.Items[i] = proto.BatchCreateItem{Err: res.Err.Error()}
+					continue
+				}
+				resp.Items[i] = proto.BatchCreateItem{VMID: string(res.VMID), Ad: res.Ad}
+			}
+			return &proto.Message{Kind: proto.KindBatchCreateResponse, BatchCreated: resp}
+
 		case proto.KindQueryRequest:
 			var ad *classad.Ad
 			var qerr error

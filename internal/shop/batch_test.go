@@ -1,0 +1,127 @@
+package shop
+
+import (
+	"fmt"
+	"testing"
+	"time"
+
+	"vmplants/internal/core"
+	"vmplants/internal/plant"
+	"vmplants/internal/sim"
+)
+
+func TestCreateManyAllSucceed(t *testing.T) {
+	d := newDeployment(t, 4, plant.Config{MaxVMs: 32})
+	d.shop.BidTimeout = time.Second
+	specs := make([]*core.Spec, 12)
+	for i := range specs {
+		specs[i] = wsSpec(t, fmt.Sprintf("user%02d", i), "ufl.edu")
+	}
+	d.run(t, func(p *sim.Proc) {
+		results := d.shop.CreateMany(p, specs)
+		if len(results) != len(specs) {
+			t.Fatalf("%d results for %d specs", len(results), len(specs))
+		}
+		seen := make(map[core.VMID]bool)
+		for i, r := range results {
+			if r.Err != nil {
+				t.Fatalf("request %d: %v", i, r.Err)
+			}
+			if r.VMID == "" || seen[r.VMID] {
+				t.Fatalf("request %d: bad or duplicate VMID %q", i, r.VMID)
+			}
+			seen[r.VMID] = true
+			// Each VM is queryable afterwards — routes were recorded.
+			if _, err := d.shop.Query(p, r.VMID); err != nil {
+				t.Errorf("query %s: %v", r.VMID, err)
+			}
+		}
+	})
+	if got := d.shop.InflightByPlant(); len(got) != 0 {
+		t.Errorf("in-flight ledger not drained: %v", got)
+	}
+}
+
+// TestCreateManySpreadsLoad checks the admission-aware winner filter:
+// under the free-memory cost model every idle plant bids the same, and
+// a batch must land across plants rather than queuing on one.
+func TestCreateManySpreadsLoad(t *testing.T) {
+	d := newDeployment(t, 4, plant.Config{MaxVMs: 32, CloneSlots: 1})
+	d.shop.BidTimeout = time.Second
+	specs := make([]*core.Spec, 8)
+	for i := range specs {
+		specs[i] = wsSpec(t, fmt.Sprintf("user%02d", i), "ufl.edu")
+	}
+	d.run(t, func(p *sim.Proc) {
+		for _, r := range d.shop.CreateMany(p, specs) {
+			if r.Err != nil {
+				t.Fatalf("batch create: %v", r.Err)
+			}
+		}
+	})
+	hosting := 0
+	for _, pl := range d.plants {
+		if pl.ActiveVMs() > 0 {
+			hosting++
+		}
+	}
+	if hosting < 2 {
+		t.Errorf("batch of 8 landed on %d plant(s); admission filter should spread it", hosting)
+	}
+}
+
+// TestCreateManySingleMatchesSerial is the shop-level determinism
+// check: a one-element batch takes the identical code path as a serial
+// Create, so same-seed runs must produce identical audit records.
+func TestCreateManySingleMatchesSerial(t *testing.T) {
+	render := func(batch bool) string {
+		d := newDeployment(t, 4, plant.Config{MaxVMs: 32})
+		var out string
+		d.run(t, func(p *sim.Proc) {
+			spec := wsSpec(t, "det", "ufl.edu")
+			var id core.VMID
+			var err error
+			if batch {
+				r := d.shop.CreateMany(p, []*core.Spec{spec})[0]
+				id, err = r.VMID, r.Err
+			} else {
+				id, _, err = d.shop.Create(p, spec)
+			}
+			out = fmt.Sprintf("id=%s err=%v end=%s", id, err, p.Now())
+		})
+		for _, rec := range d.shop.Bids() {
+			out += fmt.Sprintf("\nwinner=%s bids=%d", rec.Winner, len(rec.Costs))
+		}
+		return out
+	}
+	serial, batch := render(false), render(true)
+	if serial != batch {
+		t.Errorf("serial and single-batch runs diverged:\n--- serial ---\n%s\n--- batch ---\n%s", serial, batch)
+	}
+}
+
+func TestCreateManyEmptyAndErrors(t *testing.T) {
+	d := newDeployment(t, 2, plant.Config{MaxVMs: 1})
+	d.shop.BidTimeout = time.Second
+	d.run(t, func(p *sim.Proc) {
+		if got := d.shop.CreateMany(p, nil); len(got) != 0 {
+			t.Errorf("empty batch returned %d results", len(got))
+		}
+		// 2 plants × MaxVMs 1: a batch of 4 can place at most 2.
+		specs := make([]*core.Spec, 4)
+		for i := range specs {
+			specs[i] = wsSpec(t, fmt.Sprintf("cap%d", i), "ufl.edu")
+		}
+		ok, failed := 0, 0
+		for _, r := range d.shop.CreateMany(p, specs) {
+			if r.Err != nil {
+				failed++
+			} else {
+				ok++
+			}
+		}
+		if ok != 2 || failed != 2 {
+			t.Errorf("ok=%d failed=%d, want 2/2 with 2 one-VM plants", ok, failed)
+		}
+	})
+}

@@ -53,10 +53,15 @@ type Shop struct {
 	Breaker  BreakerConfig
 	breakers map[string]*breaker
 
+	// Pipeline tunes the batched creation pipeline (CreateMany).
+	Pipeline PipelineConfig
+
 	// mu guards the bid audit log, which out-of-kernel observers (debug
-	// endpoints, tests) read while creations append to it.
-	mu   sync.Mutex
-	bids []BidRecord // audit log for experiments
+	// endpoints, tests) read while creations append to it, and the
+	// in-flight creation ledger shared by concurrent pipeline workers.
+	mu       sync.Mutex
+	bids     []BidRecord    // audit log for experiments
+	inflight map[string]int // plant name → creations dispatched, not yet done
 
 	// Telemetry instruments (nil-safe no-ops when unset).
 	tel             *telemetry.Hub
@@ -70,6 +75,9 @@ type Shop struct {
 	gMissingBids    *telemetry.Gauge
 	gOpenBreakers   *telemetry.Gauge
 	hCreateSecs     *telemetry.Histogram
+	gBatchQueue     *telemetry.Gauge
+	gInflight       *telemetry.Gauge
+	hBatchWait      *telemetry.Histogram
 }
 
 // BidRecord is one bidding round's outcome.
@@ -89,6 +97,7 @@ func New(name string, plants []PlantHandle, seed int64) *Shop {
 		routes:   make(map[core.VMID]PlantHandle),
 		cache:    make(map[core.VMID]*classad.Ad),
 		breakers: make(map[string]*breaker),
+		inflight: make(map[string]int),
 	}
 }
 
@@ -128,6 +137,9 @@ func (s *Shop) SetTelemetry(h *telemetry.Hub) {
 	s.gMissingBids = h.Gauge("shop.missing_bids")
 	s.gOpenBreakers = h.Gauge("shop.open_breakers")
 	s.hCreateSecs = h.Histogram("shop.create_secs")
+	s.gBatchQueue = h.Gauge("shop.batch_queue_depth")
+	s.gInflight = h.Gauge("shop.inflight_creates")
+	s.hBatchWait = h.Histogram("shop.batch_wait_secs")
 }
 
 // mintID assigns the next VMID (paper: "a VMShop-assigned unique
@@ -202,7 +214,9 @@ func (s *Shop) Create(p *sim.Proc, spec *core.Spec) (_ core.VMID, _ *classad.Ad,
 				sp.Set("failover", winner.Name())
 			}
 			first = false
+			retire := s.noteDispatch(winner.Name())
 			ad, err := winner.Create(p, id, spec)
+			retire()
 			if err == nil {
 				s.noteSuccess(winner.Name())
 				rec.Winner = winner.Name()
@@ -238,19 +252,31 @@ func (s *Shop) Create(p *sim.Proc, spec *core.Spec) (_ core.VMID, _ *classad.Ad,
 type bid struct {
 	h PlantHandle
 	c core.Cost
+	// slots is the plant's advertised admission cap (CloneSlots);
+	// 0 when the plant doesn't advertise one.
+	slots int
 }
 
 // pickWinner selects the cheapest bid, ties broken uniformly at random
-// ("The VMShop picks one plant at random", §3.4).
+// ("The VMShop picks one plant at random", §3.4). Under the batched
+// pipeline, bids from plants whose advertised clone slots are all
+// occupied by this shop's own in-flight orders are set aside first —
+// unless that empties the set, in which case queuing somewhere beats
+// failing. With nothing in flight the filter passes everything, so a
+// serial creation draws from exactly the same candidates as before.
 func (s *Shop) pickWinner(feasible []bid) PlantHandle {
-	best := feasible[0].c
-	for _, b := range feasible[1:] {
+	pool := feasible
+	if open := s.admissible(feasible); len(open) > 0 {
+		pool = open
+	}
+	best := pool[0].c
+	for _, b := range pool[1:] {
 		if b.c < best {
 			best = b.c
 		}
 	}
 	var winners []PlantHandle
-	for _, b := range feasible {
+	for _, b := range pool {
 		if b.c == best {
 			winners = append(winners, b.h)
 		}
@@ -357,8 +383,12 @@ func (s *Shop) collectBids(p *sim.Proc, round []PlantHandle, spec *core.Spec, re
 		if a.ad != nil && !classad.Match(reqAd, a.ad) {
 			continue
 		}
+		slots := 0
+		if a.ad != nil {
+			slots = int(a.ad.GetInt("CloneSlots", 0))
+		}
 		rec.Costs[a.h.Name()] = a.c
-		feasible = append(feasible, bid{a.h, a.c})
+		feasible = append(feasible, bid{a.h, a.c, slots})
 	}
 	return feasible
 }

@@ -1,0 +1,122 @@
+package warehouse
+
+import (
+	"fmt"
+	"reflect"
+	"testing"
+
+	"vmplants/internal/telemetry"
+)
+
+// publishN publishes n golden images named g0..g(n-1).
+func publishN(t *testing.T, w *Warehouse, n int) {
+	t.Helper()
+	for i := 0; i < n; i++ {
+		im, err := BuildGolden(fmt.Sprintf("g%d", i), hw(), BackendVMware, history())
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := w.Publish(im); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+func TestOpenCloneHitMiss(t *testing.T) {
+	w := newWarehouse()
+	hub := telemetry.New()
+	w.SetTelemetry(hub)
+	publishN(t, w, 1)
+
+	ctx, err := w.OpenClone("g0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ctx.Image.Name != "g0" {
+		t.Errorf("image = %q", ctx.Image.Name)
+	}
+	if ctx.Desc.Name != "g0" || ctx.Desc.MemoryMB != 64 {
+		t.Errorf("descriptor = %+v", ctx.Desc)
+	}
+	if len(ctx.ExtentPaths) != DiskSpanFiles {
+		t.Errorf("%d extent paths, want %d", len(ctx.ExtentPaths), DiskSpanFiles)
+	}
+	if ctx.ExtentBytes != int64(hw().DiskMB)*1024*1024 {
+		t.Errorf("extent bytes = %d", ctx.ExtentBytes)
+	}
+	again, err := w.OpenClone("g0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if again != ctx {
+		t.Error("second open did not return the cached context")
+	}
+	if hits, misses := w.CacheStats(); hits != 1 || misses != 1 {
+		t.Errorf("hits=%d misses=%d, want 1/1", hits, misses)
+	}
+	if _, err := w.OpenClone("nope"); err == nil {
+		t.Error("open of unpublished image succeeded")
+	}
+}
+
+func TestCloneCacheLRUEviction(t *testing.T) {
+	w := newWarehouse()
+	w.SetTelemetry(telemetry.New())
+	w.SetCloneCacheSize(3)
+	publishN(t, w, 5)
+
+	for _, n := range []string{"g0", "g1", "g2"} {
+		if _, err := w.OpenClone(n); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Most→least recent: g2 g1 g0.
+	if got := w.CacheKeys(); !reflect.DeepEqual(got, []string{"g2", "g1", "g0"}) {
+		t.Fatalf("cache order %v", got)
+	}
+	// Touch g0 — it moves to the front.
+	if _, err := w.OpenClone("g0"); err != nil {
+		t.Fatal(err)
+	}
+	if got := w.CacheKeys(); !reflect.DeepEqual(got, []string{"g0", "g2", "g1"}) {
+		t.Fatalf("cache order after touch %v", got)
+	}
+	// Insert g3: g1 is now least recently used and must be the victim.
+	if _, err := w.OpenClone("g3"); err != nil {
+		t.Fatal(err)
+	}
+	if got := w.CacheKeys(); !reflect.DeepEqual(got, []string{"g3", "g0", "g2"}) {
+		t.Fatalf("cache order after eviction %v", got)
+	}
+	// Insert g4: g2 goes next — strict recency order, not insertion order.
+	if _, err := w.OpenClone("g4"); err != nil {
+		t.Fatal(err)
+	}
+	if got := w.CacheKeys(); !reflect.DeepEqual(got, []string{"g4", "g3", "g0"}) {
+		t.Fatalf("cache order after second eviction %v", got)
+	}
+	// A re-open of an evicted image is a miss that re-builds the context.
+	if _, err := w.OpenClone("g1"); err != nil {
+		t.Fatal(err)
+	}
+	if hits, misses := w.CacheStats(); hits != 1 || misses != 6 {
+		t.Errorf("hits=%d misses=%d, want 1/6", hits, misses)
+	}
+}
+
+func TestCloneCacheInvalidatedOnRemove(t *testing.T) {
+	w := newWarehouse()
+	publishN(t, w, 2)
+	if _, err := w.OpenClone("g0"); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Remove("g0"); err != nil {
+		t.Fatal(err)
+	}
+	if got := w.CacheKeys(); len(got) != 0 {
+		t.Errorf("cache still holds %v after Remove", got)
+	}
+	if _, err := w.OpenClone("g0"); err == nil {
+		t.Error("open of removed image succeeded")
+	}
+}

@@ -181,28 +181,41 @@ func ParseDescriptor(blob []byte) (Descriptor, []dag.Action, error) {
 type Warehouse struct {
 	vol    *storage.Volume
 	images map[string]*Image
+	cache  *cloneCache
 
 	// Telemetry instruments (nil-safe no-ops when unset).
 	mLookups      *telemetry.Counter
 	mLookupMisses *telemetry.Counter
 	mPublishes    *telemetry.Counter
 	gImages       *telemetry.Gauge
+	mCacheHits    *telemetry.Counter
+	mCacheMisses  *telemetry.Counter
+	gCacheSize    *telemetry.Gauge
 }
 
 // New creates an empty warehouse on the given (server-side) volume.
 func New(vol *storage.Volume) *Warehouse {
-	return &Warehouse{vol: vol, images: make(map[string]*Image)}
+	return &Warehouse{
+		vol:    vol,
+		images: make(map[string]*Image),
+		cache:  newCloneCache(DefaultCloneCacheSize),
+	}
 }
 
 // SetTelemetry wires the warehouse's instruments: image lookup counters
 // ("warehouse.lookups", "warehouse.lookup_misses"), the publish counter
-// ("warehouse.publishes") and the published-image gauge
-// ("warehouse.images"). Passing nil detaches them.
+// ("warehouse.publishes"), the published-image gauge
+// ("warehouse.images") and the hot clone-cache instruments
+// ("warehouse.cache_hits", "warehouse.cache_misses",
+// "warehouse.cache_size"). Passing nil detaches them.
 func (w *Warehouse) SetTelemetry(h *telemetry.Hub) {
 	w.mLookups = h.Counter("warehouse.lookups")
 	w.mLookupMisses = h.Counter("warehouse.lookup_misses")
 	w.mPublishes = h.Counter("warehouse.publishes")
 	w.gImages = h.Gauge("warehouse.images")
+	w.mCacheHits = h.Counter("warehouse.cache_hits")
+	w.mCacheMisses = h.Counter("warehouse.cache_misses")
+	w.gCacheSize = h.Gauge("warehouse.cache_size")
 }
 
 // Volume returns the backing volume.
@@ -292,6 +305,8 @@ func (w *Warehouse) Remove(name string) error {
 		}
 	}
 	delete(w.images, name)
+	w.cache.drop(name)
+	w.gCacheSize.Set(int64(w.cache.order.Len()))
 	w.gImages.Set(int64(len(w.images)))
 	return nil
 }

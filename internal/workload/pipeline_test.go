@@ -1,0 +1,59 @@
+package workload
+
+import "testing"
+
+// The pipeline run is the acceptance gate for batched creation: bigger
+// batches must raise throughput, the cache must be warm after the first
+// clone of each golden image, and a single-request creation must stay
+// byte-identical to the serial path.
+func TestPipelineRunSmoke(t *testing.T) {
+	res, err := RunPipeline(42, PipelineOptions{Sizes: []int{1, 4, 16}})
+	if err != nil {
+		t.Fatalf("RunPipeline: %v", err)
+	}
+	if len(res.Batches) != 3 {
+		t.Fatalf("%d batch points, want 3", len(res.Batches))
+	}
+	for _, b := range res.Batches {
+		if b.Failed != 0 || b.OK != b.Size {
+			t.Errorf("batch %d: ok=%d failed=%d", b.Size, b.OK, b.Failed)
+		}
+		if b.Throughput <= 0 {
+			t.Errorf("batch %d: throughput = %v", b.Size, b.Throughput)
+		}
+		// One golden image: the first clone misses, the rest must hit.
+		if b.CacheMisses != 1 || b.CacheHits != int64(b.Size-1) {
+			t.Errorf("batch %d: cache hits=%d misses=%d", b.Size, b.CacheHits, b.CacheMisses)
+		}
+	}
+	if s := res.SpeedupOver(16, 1); s < 3 {
+		t.Errorf("batch-16 speedup over batch-1 = %.2fx, want >= 3x", s)
+	}
+	if !res.DeterminismOK {
+		t.Errorf("serial and single-batch creation logs diverged:\n--- serial ---\n%s\n--- batch ---\n%s",
+			res.SerialFingerprint, res.BatchFingerprint)
+	}
+	// The derived per-plant cap is 3 on the default node; a batch of 16
+	// over 8 plants must actually drive plants into concurrent cloning.
+	if last := res.Batches[2]; last.MaxInflight < 2 {
+		t.Errorf("max in-flight clones = %d; batching produced no concurrency", last.MaxInflight)
+	}
+}
+
+func TestPipelineRunDeterministicAcrossRuns(t *testing.T) {
+	opts := PipelineOptions{Sizes: []int{4}}
+	a, err := RunPipeline(7, opts)
+	if err != nil {
+		t.Fatalf("run 1: %v", err)
+	}
+	b, err := RunPipeline(7, opts)
+	if err != nil {
+		t.Fatalf("run 2: %v", err)
+	}
+	if a.Batches[0] != b.Batches[0] {
+		t.Fatalf("same seed diverged:\n%+v\n%+v", a.Batches[0], b.Batches[0])
+	}
+	if a.SerialFingerprint != b.SerialFingerprint {
+		t.Fatal("serial fingerprints diverged across same-seed runs")
+	}
+}
