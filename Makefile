@@ -4,7 +4,7 @@ GO ?= go
 STATICCHECK_VERSION ?= 2024.1.1
 STATICCHECK ?= staticcheck
 
-.PHONY: build test race vet lint check bench chaos pipeline
+.PHONY: build test race vet lint check bench chaos pipeline warm
 
 build:
 	$(GO) build ./...
@@ -48,3 +48,11 @@ chaos:
 # batch-16 speedup over batch-1 drops below 3x or determinism breaks.
 pipeline:
 	$(GO) run ./cmd/vmbench -exp pipeline -series smoke
+
+# warm is the warehouse learning-loop smoke: a Zipf request stream with
+# checkpoint publish-back enabled must cut warm-half mean creation time
+# >= 30% vs the cold half, stay within the derived-image byte budget
+# (with retirements observed, seeds intact), and replay byte-identically
+# on the same seed.
+warm:
+	$(GO) run ./cmd/vmbench -exp warm -series smoke

@@ -25,7 +25,7 @@ import (
 
 func main() {
 	var (
-		exp      = flag.String("exp", "all", "experiment: all, fig4, fig5, fig6, copy, uml, cost, overhead, anatomy, trace, ablations, extensions, chaos, pipeline")
+		exp      = flag.String("exp", "all", "experiment: all, fig4, fig5, fig6, copy, uml, cost, overhead, anatomy, trace, ablations, extensions, chaos, pipeline, warm")
 		seed     = flag.Int64("seed", 42, "random seed")
 		series   = flag.String("series", "paper", "request series scale: paper or smoke")
 		traceOut = flag.String("trace", "", "write the trace experiment's spans as JSONL to this file")
@@ -273,6 +273,32 @@ func main() {
 					speedup, res.DeterminismOK)
 			}
 		},
+		"warm": func() {
+			opts := workload.WarmOptions{}
+			if *series == "smoke" {
+				opts = workload.SmokeWarmOptions()
+			}
+			res, err := workload.RunWarm(*seed, opts)
+			if err != nil {
+				log.Fatalf("vmbench: %v", err)
+			}
+			header("Warm: the warehouse learning loop (derived images, utility retirement)")
+			for _, line := range res.Report() {
+				fmt.Println(line)
+			}
+			again, err := workload.RunWarm(*seed, opts)
+			if err != nil {
+				log.Fatalf("vmbench: %v", err)
+			}
+			reproducible := again.Fingerprint == res.Fingerprint
+			fmt.Printf("\nsame-seed rerun byte-identical: %v\n", reproducible)
+			overBudget := res.Capacity > 0 && res.BytesUsed > res.Capacity
+			if res.Improvement < 0.30 || res.Retirements == 0 || overBudget ||
+				!res.SeedsIntact || res.Failed != 0 || !reproducible {
+				log.Fatalf("vmbench: warm run failed its invariants (improvement %.1f%% < 30%%, retirements %d, over-budget %v, seeds intact %v, failed %d, reproducible %v)",
+					100*res.Improvement, res.Retirements, overBudget, res.SeedsIntact, res.Failed, reproducible)
+			}
+		},
 		"ablations": func() {
 			a1, err := workload.RunAblationNoPartialMatch(*seed, 4)
 			if err != nil {
@@ -297,7 +323,7 @@ func main() {
 		},
 	}
 
-	order := []string{"fig4", "fig5", "fig6", "copy", "uml", "cost", "overhead", "anatomy", "trace", "ablations", "extensions", "chaos", "pipeline"}
+	order := []string{"fig4", "fig5", "fig6", "copy", "uml", "cost", "overhead", "anatomy", "trace", "ablations", "extensions", "chaos", "pipeline", "warm"}
 	switch *exp {
 	case "all":
 		for _, name := range order {

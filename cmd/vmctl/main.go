@@ -61,6 +61,8 @@ func main() {
 		doStats(args[1:])
 	case "queue":
 		doQueue(args[1:])
+	case "warehouse":
+		doWarehouse(args[1:])
 	case "publish":
 		if len(args) < 3 {
 			usage()
@@ -73,7 +75,7 @@ func main() {
 }
 
 func usage() {
-	fmt.Fprintln(os.Stderr, "usage: vmctl [-shop addr] create [-spec file | -example] | query <vmid> | destroy <vmid> | suspend <vmid> | resume <vmid> | publish <vmid> <image> | ping | dot [-spec file] | stats [-debug addr] [-traces n] | queue [-debug addr,addr...]")
+	fmt.Fprintln(os.Stderr, "usage: vmctl [-shop addr] create [-spec file | -example] | query <vmid> | destroy <vmid> | suspend <vmid> | resume <vmid> | publish <vmid> <image> | ping | dot [-spec file] | stats [-debug addr] [-traces n] | queue [-debug addr,addr...] | warehouse [-debug addr,addr...]")
 	os.Exit(2)
 }
 
@@ -231,6 +233,52 @@ func doQueue(args []string) {
 		}
 		if !found {
 			fmt.Println("  no pipeline metrics (daemon runs neither a shop nor a plant?)")
+		}
+	}
+}
+
+// doWarehouse summarizes the image store across one or more daemons:
+// published and derived image counts, byte accounting against the
+// capacity budget, retirement churn, and the hot clone cache.
+func doWarehouse(args []string) {
+	fs := flag.NewFlagSet("warehouse", flag.ExitOnError)
+	debugAddrs := fs.String("debug", "localhost:7070", "comma-separated daemon debug HTTP addresses")
+	fs.Parse(args)
+
+	instruments := []string{
+		"warehouse.images",
+		"warehouse.derived_images",
+		"warehouse.bytes_used",
+		"warehouse.publishes",
+		"warehouse.retirements",
+		"plant.publish_backs",
+		"warehouse.cache_size",
+		"warehouse.cache_hits",
+		"warehouse.cache_misses",
+	}
+	for _, addr := range strings.Split(*debugAddrs, ",") {
+		addr = strings.TrimSpace(addr)
+		if addr == "" {
+			continue
+		}
+		body, err := httpGet(fmt.Sprintf("http://%s/metrics", addr))
+		if err != nil {
+			log.Fatalf("vmctl: %v", err)
+		}
+		var snap map[string]any
+		if err := json.Unmarshal(body, &snap); err != nil {
+			log.Fatalf("vmctl: bad /metrics response from %s: %v", addr, err)
+		}
+		fmt.Printf("%s:\n", addr)
+		found := false
+		for _, n := range instruments {
+			if v, ok := snap[n]; ok {
+				fmt.Printf("  %-26s %v\n", n, v)
+				found = true
+			}
+		}
+		if !found {
+			fmt.Println("  no warehouse metrics (daemon runs no plant?)")
 		}
 	}
 }

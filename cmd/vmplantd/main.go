@@ -45,6 +45,9 @@ func main() {
 		vnetAddr = flag.String("vnet", "", "VNET server listen address (empty = disabled)")
 		creds    = flag.String("creds", "", "VNET credentials, comma-separated domain=token pairs")
 		debug    = flag.String("debug", ":7071", "debug HTTP listen address for /metrics and /debug/traces (empty = disabled)")
+		pubBack  = flag.Bool("publish-back", false, "checkpoint long-residual creations back to the warehouse as derived golden images")
+		pubMin   = flag.Int("publish-threshold", 0, "minimum residual ops before a creation is checkpointed (0 = default)")
+		budgetMB = flag.Int64("warehouse-budget", 0, "warehouse byte budget in MB beyond the seed images (0 = unlimited)")
 	)
 	flag.Parse()
 
@@ -79,11 +82,16 @@ func main() {
 		log.Printf("published golden image %s", im.Name)
 	}
 
+	if *budgetMB > 0 {
+		wh.SetCapacity(wh.BytesUsed() + *budgetMB<<20)
+	}
 	pl := plant.New(*name, tb.Nodes[0], wh, plant.Config{
-		MaxVMs:           *maxVMs,
-		HostOnlyNetworks: *networks,
-		CostModel:        model,
-		Telemetry:        hub,
+		MaxVMs:               *maxVMs,
+		HostOnlyNetworks:     *networks,
+		CostModel:            model,
+		Telemetry:            hub,
+		PublishBack:          *pubBack,
+		PublishBackThreshold: *pubMin,
 	})
 	runner := service.NewRunner(k)
 

@@ -1,0 +1,69 @@
+package match
+
+import (
+	"testing"
+
+	"vmplants/internal/actions"
+	"vmplants/internal/dag"
+)
+
+// Regression (duplicate-key binding bugfix): when two DAG nodes carry
+// the same action key, a performed action must bind to a node whose
+// predecessors are already matched. The pre-fix greedy binding took the
+// first unmatched node in graph order, which could be the one whose
+// prerequisites the image lacks, spuriously failing the prefix test
+// for a history the DAG plainly allows.
+func TestDuplicateKeysBindInAncestorOrder(t *testing.T) {
+	// X2 and X1 run the same script; X2 (declared first, so the greedy
+	// binder sees it first) depends on package B, X1 only on the OS.
+	g, err := dag.NewBuilder().
+		Add("A", act(actions.OpInstallOS, "distro", "redhat-8.0")).
+		Add("B", act(actions.OpInstallPackage, "name", "octave"), "A").
+		Add("X2", act(actions.OpRunScript, "path", "/opt/setup.sh"), "B").
+		Add("X1", act(actions.OpRunScript, "path", "/opt/setup.sh"), "A").
+		Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// A cached image that installed the OS and ran the script once: a
+	// history only X1 can account for.
+	performed := []dag.Action{
+		act(actions.OpInstallOS, "distro", "redhat-8.0"),
+		act(actions.OpRunScript, "path", "/opt/setup.sh"),
+	}
+	r := Evaluate(g, performed)
+	if !r.OK {
+		t.Fatalf("match failed: %s (%s)", r.Failed, r.Reason)
+	}
+	if len(r.Matched) != 2 || r.Matched[0] != "A" || r.Matched[1] != "X1" {
+		t.Errorf("matched %v, want [A X1]", r.Matched)
+	}
+	if len(r.Residual) != 2 {
+		t.Errorf("residual %v, want B and X2", r.Residual)
+	}
+}
+
+// With every same-key node's prerequisites satisfied, binding falls
+// back to graph order and stays deterministic.
+func TestDuplicateKeysExhaustInGraphOrder(t *testing.T) {
+	g, err := dag.NewBuilder().
+		Add("A", act(actions.OpInstallOS, "distro", "redhat-8.0")).
+		Add("S1", act(actions.OpRunScript, "path", "/opt/setup.sh"), "A").
+		Add("S2", act(actions.OpRunScript, "path", "/opt/setup.sh"), "A").
+		Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	performed := []dag.Action{
+		act(actions.OpInstallOS, "distro", "redhat-8.0"),
+		act(actions.OpRunScript, "path", "/opt/setup.sh"),
+		act(actions.OpRunScript, "path", "/opt/setup.sh"),
+	}
+	r := Evaluate(g, performed)
+	if !r.OK {
+		t.Fatalf("match failed: %s (%s)", r.Failed, r.Reason)
+	}
+	if len(r.Matched) != 3 || r.Matched[1] != "S1" || r.Matched[2] != "S2" {
+		t.Errorf("matched %v, want [A S1 S2]", r.Matched)
+	}
+}

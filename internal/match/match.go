@@ -69,6 +69,12 @@ func Evaluate(g *dag.Graph, performed []dag.Action) Result {
 	}
 
 	// Subset test: bind each performed action to a distinct DAG node.
+	// When several unmatched nodes share the action's key, bind in an
+	// ancestor-respecting order — prefer the first node whose DAG
+	// predecessors are all matched already. A valid history lists every
+	// node after its ancestors, so a greedy first-unmatched binding
+	// could pick a same-key node whose prerequisites the image lacks
+	// and spuriously fail the prefix test.
 	matched := make([]string, 0, len(performed))
 	matchedSet := make(map[string]bool, len(performed))
 	for i, a := range performed {
@@ -80,8 +86,24 @@ func Evaluate(g *dag.Graph, performed []dag.Action) Result {
 				Reason: fmt.Sprintf("image operation %d (%s) is not required by the request", i, a.Op),
 			}
 		}
-		id := ids[0]
-		byKey[k] = ids[1:]
+		pick := 0
+		for j, id := range ids {
+			ready := true
+			for anc := range g.Ancestors(id) {
+				if anc != dag.StartID && !matchedSet[anc] {
+					ready = false
+					break
+				}
+			}
+			if ready {
+				pick = j
+				break
+			}
+		}
+		id := ids[pick]
+		rest := make([]string, 0, len(ids)-1)
+		rest = append(rest, ids[:pick]...)
+		byKey[k] = append(rest, ids[pick+1:]...)
 		matched = append(matched, id)
 		matchedSet[id] = true
 	}

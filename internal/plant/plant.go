@@ -76,6 +76,15 @@ type Config struct {
 	// cap from the host's free memory and local disk bandwidth; see
 	// deriveCloneSlots.
 	CloneSlots int
+	// PublishBack enables the warehouse learning loop: after a
+	// creation whose residual plan ran at least PublishBackThreshold
+	// actions, the plant checkpoints the configured VM copy-on-write
+	// and publishes it to the warehouse as a derived golden image, so
+	// the next similar request clones instead of reconfiguring.
+	PublishBack bool
+	// PublishBackThreshold is the minimum residual-plan length that
+	// triggers a publish-back; 0 selects DefaultPublishBackThreshold.
+	PublishBackThreshold int
 	// Telemetry receives the plant's spans and metrics; nil disables
 	// instrumentation at zero cost.
 	Telemetry *telemetry.Hub
@@ -140,6 +149,7 @@ type Plant struct {
 	mCloneLinks   *telemetry.Counter
 	mCrashes      *telemetry.Counter
 	mRecoveries   *telemetry.Counter
+	mPublishBacks *telemetry.Counter
 	gActiveVMs    *telemetry.Gauge
 	hCreateSecs   *telemetry.Histogram
 	hCloneSecs    *telemetry.Histogram
@@ -218,6 +228,7 @@ func New(name string, node *cluster.Node, wh *warehouse.Warehouse, cfg Config) *
 		mCloneLinks:   tel.Counter("vmm.clone_extents_linked"),
 		mCrashes:      tel.Counter("plant.crashes"),
 		mRecoveries:   tel.Counter("plant.recoveries"),
+		mPublishBacks: tel.Counter("plant.publish_backs"),
 		gActiveVMs:    tel.Gauge("plant.active_vms"),
 		hCreateSecs:   tel.Histogram("plant.create_secs"),
 		hCloneSecs:    tel.Histogram("plant.clone_secs"),
@@ -529,8 +540,79 @@ func (pl *Plant) Create(p *sim.Proc, id core.VMID, spec *core.Spec) (_ *classad.
 	pl.hCreateSecs.Observe(total.Seconds())
 	pl.hCloneSecs.Observe(cloneStats.Total.Seconds())
 	pl.hConfigSecs.Observe(cfgTime.Seconds())
+	pl.wh.NoteUse(golden.Name, len(best.Result.Matched), p.Now())
+	pl.maybePublishBack(p, sp, vm, golden, len(best.Result.Residual))
 	return ad.Clone(), nil
 }
+
+// DefaultPublishBackThreshold is the residual-plan length at which a
+// creation is deemed expensive enough to checkpoint back (an In-VIGO
+// workspace's first personalization runs 6 residual actions).
+const DefaultPublishBackThreshold = 4
+
+// maybePublishBack closes the warehouse learning loop after a
+// successful creation: if the residual plan was long enough and the
+// resulting configuration is not in the warehouse yet, the plant stuns
+// the VM briefly for a copy-on-write checkpoint, then uploads and
+// publishes the derived golden image off the critical path (a spawned
+// kernel process charges the NFS transfer). Races between concurrent
+// creations of the same configuration resolve at publish time: the
+// loser's duplicate is simply dropped.
+func (pl *Plant) maybePublishBack(p *sim.Proc, sp *telemetry.Span, vm *vmm.VM, golden *warehouse.Image, residual int) {
+	if !pl.cfg.PublishBack {
+		return
+	}
+	threshold := pl.cfg.PublishBackThreshold
+	if threshold <= 0 {
+		threshold = DefaultPublishBackThreshold
+	}
+	if residual < threshold {
+		return
+	}
+	history := vm.History()
+	name := warehouse.DerivedName(vm.Backend(), history)
+	if _, exists := pl.wh.Lookup(name); exists {
+		return
+	}
+	// Derived images root at a seed: a checkpoint of a clone of a
+	// derived image shares the same seed extents, so the seed is the
+	// parent either way.
+	parent := golden.Name
+	if golden.Derived {
+		parent = golden.Parent
+	}
+	// Brief stun while the copy-on-write checkpoint is taken.
+	p.Sleep(sim.Seconds(0.5 * pl.node.Jitter()))
+	snap := vm.Disk().Snapshot(name)
+	im := &warehouse.Image{
+		Name:      name,
+		Hardware:  vm.Hardware(),
+		Backend:   vm.Backend(),
+		Performed: history,
+		Guest:     vm.Guest().Clone(),
+		Disk:      snap,
+		Derived:   true,
+		Parent:    parent,
+	}
+	sp.Set("publish_back", name)
+	upload := im.CheckpointBytes()
+	p.Kernel().Spawn(pl.name+"/publish-back/"+name, func(bp *sim.Proc) {
+		// The derived state (redo log + memory checkpoint) streams to
+		// the shared warehouse over the node's NFS path; the extents
+		// are already there — the checkpoint shares the parent's.
+		pl.node.Warehouse().Charge(bp, upload, pl.node.Jitter())
+		if err := pl.wh.PublishDerived(im, bp.Now()); err != nil {
+			// Lost a race to an identical checkpoint, or the budget is
+			// full of referenced images: drop the checkpoint.
+			return
+		}
+		pl.mPublishBacks.Inc()
+	})
+}
+
+// Warehouse returns the plant's image store (the daemon's publish-image
+// handler publishes remote derived images into it).
+func (pl *Plant) Warehouse() *warehouse.Warehouse { return pl.wh }
 
 // recordClone decomposes the clone stage into "clone.copy" and
 // "clone.resume"/"clone.boot" child spans from the backend's measured

@@ -29,52 +29,56 @@ type Kind string
 
 // Message kinds.
 const (
-	KindCreateRequest       Kind = "create-request"
-	KindCreateResponse      Kind = "create-response"
-	KindBatchCreateRequest  Kind = "batch-create-request"
-	KindBatchCreateResponse Kind = "batch-create-response"
-	KindQueryRequest        Kind = "query-request"
-	KindQueryResponse       Kind = "query-response"
-	KindDestroyRequest      Kind = "destroy-request"
-	KindDestroyResponse     Kind = "destroy-response"
-	KindEstimateRequest     Kind = "estimate-request"
-	KindEstimateResponse    Kind = "estimate-response"
-	KindPublishRequest      Kind = "publish-request"
-	KindPublishResponse     Kind = "publish-response"
-	KindLifecycleRequest    Kind = "lifecycle-request"
-	KindLifecycleResponse   Kind = "lifecycle-response"
-	KindListRequest         Kind = "list-request"
-	KindListResponse        Kind = "list-response"
-	KindPingRequest         Kind = "ping-request"
-	KindPingResponse        Kind = "ping-response"
-	KindError               Kind = "error"
+	KindCreateRequest        Kind = "create-request"
+	KindCreateResponse       Kind = "create-response"
+	KindBatchCreateRequest   Kind = "batch-create-request"
+	KindBatchCreateResponse  Kind = "batch-create-response"
+	KindQueryRequest         Kind = "query-request"
+	KindQueryResponse        Kind = "query-response"
+	KindDestroyRequest       Kind = "destroy-request"
+	KindDestroyResponse      Kind = "destroy-response"
+	KindEstimateRequest      Kind = "estimate-request"
+	KindEstimateResponse     Kind = "estimate-response"
+	KindPublishRequest       Kind = "publish-request"
+	KindPublishResponse      Kind = "publish-response"
+	KindPublishImageRequest  Kind = "publish-image-request"
+	KindPublishImageResponse Kind = "publish-image-response"
+	KindLifecycleRequest     Kind = "lifecycle-request"
+	KindLifecycleResponse    Kind = "lifecycle-response"
+	KindListRequest          Kind = "list-request"
+	KindListResponse         Kind = "list-response"
+	KindPingRequest          Kind = "ping-request"
+	KindPingResponse         Kind = "ping-response"
+	KindError                Kind = "error"
 )
 
 // Message is the envelope: exactly one of the pointers is non-nil,
 // matching Kind.
 type Message struct {
-	XMLName      xml.Name             `xml:"message"`
-	Kind         Kind                 `xml:"kind,attr"`
-	Seq          uint64               `xml:"seq,attr"` // request/response correlation
-	Create       *CreateRequest       `xml:"create-request"`
-	Created      *CreateResponse      `xml:"create-response"`
-	BatchCreate  *BatchCreateRequest  `xml:"batch-create-request"`
-	BatchCreated *BatchCreateResponse `xml:"batch-create-response"`
-	Query        *QueryRequest        `xml:"query-request"`
-	Queried      *QueryResponse       `xml:"query-response"`
-	Destroy      *DestroyRequest      `xml:"destroy-request"`
-	Destroyed    *DestroyResponse     `xml:"destroy-response"`
-	Estimate     *EstimateRequest     `xml:"estimate-request"`
-	Bid          *EstimateResponse    `xml:"estimate-response"`
-	Publish      *PublishRequest      `xml:"publish-request"`
-	Published    *PublishResponse     `xml:"publish-response"`
-	Lifecycle    *LifecycleRequest    `xml:"lifecycle-request"`
-	Lifecycled   *LifecycleResponse   `xml:"lifecycle-response"`
-	List         *ListRequest         `xml:"list-request"`
-	Listed       *ListResponse        `xml:"list-response"`
-	Ping         *PingRequest         `xml:"ping-request"`
-	Pong         *PingResponse        `xml:"ping-response"`
-	Err          *ErrorResponse       `xml:"error"`
+	XMLName        xml.Name              `xml:"message"`
+	Kind           Kind                  `xml:"kind,attr"`
+	Seq            uint64                `xml:"seq,attr"` // request/response correlation
+	Create         *CreateRequest        `xml:"create-request"`
+	Created        *CreateResponse       `xml:"create-response"`
+	BatchCreate    *BatchCreateRequest   `xml:"batch-create-request"`
+	BatchCreated   *BatchCreateResponse  `xml:"batch-create-response"`
+	Query          *QueryRequest         `xml:"query-request"`
+	Queried        *QueryResponse        `xml:"query-response"`
+	Destroy        *DestroyRequest       `xml:"destroy-request"`
+	Destroyed      *DestroyResponse      `xml:"destroy-response"`
+	Estimate       *EstimateRequest      `xml:"estimate-request"`
+	Bid            *EstimateResponse     `xml:"estimate-response"`
+	Publish        *PublishRequest       `xml:"publish-request"`
+	Published      *PublishResponse      `xml:"publish-response"`
+	PublishImage   *PublishImageRequest  `xml:"publish-image-request"`
+	ImagePublished *PublishImageResponse `xml:"publish-image-response"`
+	Lifecycle      *LifecycleRequest     `xml:"lifecycle-request"`
+	Lifecycled     *LifecycleResponse    `xml:"lifecycle-response"`
+	List           *ListRequest          `xml:"list-request"`
+	Listed         *ListResponse         `xml:"list-response"`
+	Ping           *PingRequest          `xml:"ping-request"`
+	Pong           *PingResponse         `xml:"ping-response"`
+	Err            *ErrorResponse        `xml:"error"`
 }
 
 // CreateRequest asks for a new VM built to a specification. VMID is
@@ -204,6 +208,27 @@ type PublishResponse struct {
 	Image string `xml:"image"`
 }
 
+// PublishImageRequest pushes a derived golden image from a plant to
+// the warehouse host (the learning loop's publish-back over the wire):
+// the image travels as its golden-machine descriptor XML plus the name
+// of the seed image whose disk extents the checkpoint shares. Not
+// idempotent — never retransmitted.
+type PublishImageRequest struct {
+	Image      string `xml:"image"`
+	Parent     string `xml:"parent"`
+	Descriptor string `xml:"descriptor"` // golden-machine descriptor XML
+}
+
+// PublishImageResponse reports the publication outcome. A refused
+// publication (duplicate name, budget full of referenced images) is
+// Accepted=false with a Reason, not a protocol error: the sender just
+// drops its checkpoint.
+type PublishImageResponse struct {
+	Image    string `xml:"image"`
+	Accepted bool   `xml:"accepted"`
+	Reason   string `xml:"reason,omitempty"`
+}
+
 // Lifecycle operations.
 const (
 	LifecycleSuspend = "suspend"
@@ -265,25 +290,27 @@ func Errorf(seq uint64, code, format string, args ...any) *Message {
 // validateEnvelope checks the Kind matches the populated body.
 func (m *Message) validateEnvelope() error {
 	bodies := map[Kind]bool{
-		KindCreateRequest:       m.Create != nil,
-		KindCreateResponse:      m.Created != nil,
-		KindBatchCreateRequest:  m.BatchCreate != nil,
-		KindBatchCreateResponse: m.BatchCreated != nil,
-		KindQueryRequest:        m.Query != nil,
-		KindQueryResponse:       m.Queried != nil,
-		KindDestroyRequest:      m.Destroy != nil,
-		KindDestroyResponse:     m.Destroyed != nil,
-		KindEstimateRequest:     m.Estimate != nil,
-		KindEstimateResponse:    m.Bid != nil,
-		KindPublishRequest:      m.Publish != nil,
-		KindPublishResponse:     m.Published != nil,
-		KindLifecycleRequest:    m.Lifecycle != nil,
-		KindLifecycleResponse:   m.Lifecycled != nil,
-		KindListRequest:         m.List != nil,
-		KindListResponse:        m.Listed != nil,
-		KindPingRequest:         m.Ping != nil,
-		KindPingResponse:        m.Pong != nil,
-		KindError:               m.Err != nil,
+		KindCreateRequest:        m.Create != nil,
+		KindCreateResponse:       m.Created != nil,
+		KindBatchCreateRequest:   m.BatchCreate != nil,
+		KindBatchCreateResponse:  m.BatchCreated != nil,
+		KindQueryRequest:         m.Query != nil,
+		KindQueryResponse:        m.Queried != nil,
+		KindDestroyRequest:       m.Destroy != nil,
+		KindDestroyResponse:      m.Destroyed != nil,
+		KindEstimateRequest:      m.Estimate != nil,
+		KindEstimateResponse:     m.Bid != nil,
+		KindPublishRequest:       m.Publish != nil,
+		KindPublishResponse:      m.Published != nil,
+		KindPublishImageRequest:  m.PublishImage != nil,
+		KindPublishImageResponse: m.ImagePublished != nil,
+		KindLifecycleRequest:     m.Lifecycle != nil,
+		KindLifecycleResponse:    m.Lifecycled != nil,
+		KindListRequest:          m.List != nil,
+		KindListResponse:         m.Listed != nil,
+		KindPingRequest:          m.Ping != nil,
+		KindPingResponse:         m.Pong != nil,
+		KindError:                m.Err != nil,
 	}
 	present, known := bodies[m.Kind]
 	if !known {

@@ -1,0 +1,76 @@
+package proto
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestPublishImageRoundTrip(t *testing.T) {
+	in := &Message{
+		Kind: KindPublishImageRequest,
+		Seq:  4,
+		PublishImage: &PublishImageRequest{
+			Image:      "derived-vmware-0123456789ab",
+			Parent:     "invigo-vmware-64mb",
+			Descriptor: `<golden-machine name="derived-vmware-0123456789ab" backend="vmware"></golden-machine>`,
+		},
+	}
+	blob, err := Marshal(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := Unmarshal(blob)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Kind != KindPublishImageRequest || m.Seq != 4 {
+		t.Fatalf("envelope = %s seq %d", m.Kind, m.Seq)
+	}
+	if m.PublishImage.Image != in.PublishImage.Image ||
+		m.PublishImage.Parent != in.PublishImage.Parent ||
+		!strings.Contains(m.PublishImage.Descriptor, "golden-machine") {
+		t.Errorf("body = %+v", m.PublishImage)
+	}
+
+	out := &Message{
+		Kind: KindPublishImageResponse,
+		Seq:  4,
+		ImagePublished: &PublishImageResponse{
+			Image:    "derived-vmware-0123456789ab",
+			Accepted: false,
+			Reason:   "every derived image is referenced",
+		},
+	}
+	blob, err = Marshal(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err = Unmarshal(blob)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.ImagePublished.Accepted || m.ImagePublished.Reason == "" {
+		t.Errorf("response = %+v", m.ImagePublished)
+	}
+}
+
+func TestPublishImageEnvelopeValidation(t *testing.T) {
+	if _, err := Marshal(&Message{Kind: KindPublishImageRequest}); err == nil {
+		t.Error("marshal of empty publish-image envelope succeeded")
+	}
+	m := &Message{Kind: KindCreateRequest, PublishImage: &PublishImageRequest{Image: "x"}}
+	if _, err := Marshal(m); err == nil {
+		t.Error("publish-image body under create-request kind accepted")
+	}
+}
+
+// Publishing mutates warehouse state, so a timed-out publish must never
+// be retransmitted: the first attempt may have landed.
+func TestPublishImageIsNotIdempotent(t *testing.T) {
+	if idempotentKinds[KindPublishImageRequest] {
+		t.Error("publish-image-request marked idempotent")
+	}
+	if idempotentKinds[KindPublishImageResponse] {
+		t.Error("publish-image-response marked idempotent")
+	}
+}

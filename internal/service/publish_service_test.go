@@ -1,0 +1,112 @@
+package service
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"vmplants/internal/actions"
+	"vmplants/internal/core"
+	"vmplants/internal/dag"
+	"vmplants/internal/warehouse"
+)
+
+// buildDerivedXML builds the descriptor a publishing plant would send:
+// a derived checkpoint over an image identical to the daemon's "base"
+// seed, with one extra configuration action.
+func buildDerivedXML(t *testing.T, extra string) (name, xml string) {
+	t.Helper()
+	parent, err := warehouse.BuildGolden("base",
+		core.HardwareSpec{Arch: "x86", MemoryMB: 64, DiskMB: 2048},
+		warehouse.BackendVMware,
+		[]dag.Action{act(actions.OpInstallOS, "distro", "redhat-8.0")})
+	if err != nil {
+		t.Fatal(err)
+	}
+	performed := append(parent.Performed, act(actions.OpInstallPackage, "name", extra))
+	name = warehouse.DerivedName(warehouse.BackendVMware, performed)
+	im, err := warehouse.BuildDerived(name, parent, performed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	blob, err := im.DescriptorXML()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return name, string(blob)
+}
+
+func TestPublishDerivedOverTCP(t *testing.T) {
+	addr := startPlantDaemon(t, "plant-pub", 11)
+	rp := &RemotePlant{PlantName: "plant-pub", Addr: addr, Timeout: 5 * time.Second}
+
+	name, xml := buildDerivedXML(t, "octave")
+	ok, reason, err := rp.PublishDerived(name, "base", xml)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !ok {
+		t.Fatalf("publish refused: %s", reason)
+	}
+
+	// A duplicate publication is a refusal, not a protocol error: the
+	// caller lost a race to an identical checkpoint and simply drops
+	// its copy.
+	ok, reason, err = rp.PublishDerived(name, "base", xml)
+	if err != nil {
+		t.Fatalf("duplicate publish errored: %v", err)
+	}
+	if ok || !strings.Contains(reason, "already published") {
+		t.Errorf("duplicate publish: ok=%v reason=%q", ok, reason)
+	}
+
+	// The published image is a creation candidate on the daemon side:
+	// a request carrying the derived history now full-matches it.
+	sc, err := DialShop(startShopDaemon(t, map[string]string{"plant-pub": addr}), 5*time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sc.Close()
+	g, err := dag.NewBuilder().
+		Add("os", act(actions.OpInstallOS, "distro", "redhat-8.0")).
+		Add("pkg", act(actions.OpInstallPackage, "name", "octave"), "os").
+		Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, ad, err := sc.Create(&core.Spec{
+		Name:     "derived-hit",
+		Hardware: core.HardwareSpec{Arch: "x86", MemoryMB: 64, DiskMB: 2048},
+		Domain:   "example.edu",
+		Backend:  warehouse.BackendVMware,
+		Graph:    g,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := ad.GetString(core.AttrGoldenImage, ""); got != name {
+		t.Errorf("creation cloned %q, want the derived image %q", got, name)
+	}
+	if got := ad.GetInt(core.AttrMatchedOps, -1); got != 2 {
+		t.Errorf("matched ops = %d, want 2 (full match)", got)
+	}
+}
+
+func TestPublishDerivedRejectsBadRequests(t *testing.T) {
+	addr := startPlantDaemon(t, "plant-pub2", 12)
+	rp := &RemotePlant{PlantName: "plant-pub2", Addr: addr, Timeout: 5 * time.Second}
+	name, xml := buildDerivedXML(t, "octave")
+
+	// Unknown parent is a protocol error, not a refusal.
+	if _, _, err := rp.PublishDerived(name, "no-such-seed", xml); err == nil {
+		t.Error("publish over a missing parent succeeded")
+	}
+	// Mismatched name/descriptor pair.
+	if _, _, err := rp.PublishDerived("some-other-name", "base", xml); err == nil {
+		t.Error("publish with a name not matching the descriptor succeeded")
+	}
+	// Garbage descriptor.
+	if _, _, err := rp.PublishDerived(name, "base", "<not-xml"); err == nil {
+		t.Error("publish of a garbage descriptor succeeded")
+	}
+}

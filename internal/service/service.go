@@ -25,6 +25,7 @@ import (
 	"vmplants/internal/shop"
 	"vmplants/internal/sim"
 	"vmplants/internal/telemetry"
+	"vmplants/internal/warehouse"
 )
 
 // Runner serializes operations on one simulation kernel so concurrent
@@ -165,6 +166,42 @@ func NewPlantHandler(r *Runner, pl *plant.Plant) proto.Handler {
 			}
 			return &proto.Message{Kind: proto.KindLifecycleResponse,
 				Lifecycled: &proto.LifecycleResponse{VMID: req.Lifecycle.VMID, State: state}}
+
+		case proto.KindPublishImageRequest:
+			// Learning-loop publish-back from a remote plant: the derived
+			// image arrives as its descriptor XML and is rebuilt over the
+			// named parent seed image in this daemon's warehouse.
+			desc, performed, err := warehouse.ParseDescriptor([]byte(req.PublishImage.Descriptor))
+			if err != nil {
+				return proto.Errorf(req.Seq, proto.CodeBadRequest, "%v", err)
+			}
+			if req.PublishImage.Image != "" && req.PublishImage.Image != desc.Name {
+				return proto.Errorf(req.Seq, proto.CodeBadRequest,
+					"publish-image name %q does not match descriptor %q", req.PublishImage.Image, desc.Name)
+			}
+			wh := pl.Warehouse()
+			parent, ok := wh.Lookup(req.PublishImage.Parent)
+			if !ok {
+				return proto.Errorf(req.Seq, proto.CodeNotFound, "no parent image %q", req.PublishImage.Parent)
+			}
+			im, err := warehouse.BuildDerived(desc.Name, parent, performed)
+			if err != nil {
+				return proto.Errorf(req.Seq, proto.CodeBadRequest, "%v", err)
+			}
+			var perr error
+			if err := r.Do("publish-image", func(p *sim.Proc) {
+				// The derived state streams to the warehouse volume over
+				// the daemon host's NFS path before registration.
+				pl.Node().Warehouse().Charge(p, im.CheckpointBytes(), pl.Node().Jitter())
+				perr = wh.PublishDerived(im, p.Now())
+			}); err != nil {
+				return proto.Errorf(req.Seq, proto.CodeInternal, "%v", err)
+			}
+			resp := &proto.PublishImageResponse{Image: desc.Name, Accepted: perr == nil}
+			if perr != nil {
+				resp.Reason = perr.Error()
+			}
+			return &proto.Message{Kind: proto.KindPublishImageResponse, ImagePublished: resp}
 		}
 		return proto.Errorf(req.Seq, proto.CodeBadRequest, "plant does not serve %q", req.Kind)
 	}
@@ -285,6 +322,19 @@ func (rp *RemotePlant) Publish(p *sim.Proc, id core.VMID, image string) error {
 	_, err := rp.call(&proto.Message{Kind: proto.KindPublishRequest,
 		Publish: &proto.PublishRequest{VMID: string(id), Image: image}})
 	return err
+}
+
+// PublishDerived pushes a derived golden image (as its descriptor XML,
+// sharing the named parent's extents) to the remote daemon's
+// warehouse — the learning loop's publish-back RPC. It returns whether
+// the warehouse accepted the image and, when refused, why.
+func (rp *RemotePlant) PublishDerived(image, parent, descriptorXML string) (bool, string, error) {
+	resp, err := rp.call(&proto.Message{Kind: proto.KindPublishImageRequest,
+		PublishImage: &proto.PublishImageRequest{Image: image, Parent: parent, Descriptor: descriptorXML}})
+	if err != nil {
+		return false, "", err
+	}
+	return resp.ImagePublished.Accepted, resp.ImagePublished.Reason, nil
 }
 
 // Lifecycle implements shop.PlantHandle.

@@ -66,6 +66,29 @@ func (g *RNG) Bernoulli(prob float64) bool {
 // Perm returns a random permutation of [0, n).
 func (g *RNG) Perm(n int) []int { return g.r.Perm(n) }
 
+// Zipf draws a rank from [0, n) with P(k) ∝ 1/(k+1)^s — the skewed
+// popularity law request streams follow (rank 0 is the most popular).
+// Inverse-CDF over the n-term generalized harmonic sum: one uniform
+// draw per sample, deterministic for a given stream, and O(n), which
+// is fine for the small catalogs workloads use.
+func (g *RNG) Zipf(n int, s float64) int {
+	if n <= 1 {
+		return 0
+	}
+	var total float64
+	for k := 1; k <= n; k++ {
+		total += 1 / math.Pow(float64(k), s)
+	}
+	u := g.r.Float64() * total
+	for k := 1; k <= n; k++ {
+		u -= 1 / math.Pow(float64(k), s)
+		if u <= 0 {
+			return k - 1
+		}
+	}
+	return n - 1
+}
+
 // Child derives a new independent generator from this one's stream, so
 // subsystems can be given private streams that stay decoupled as call
 // patterns change.

@@ -100,6 +100,7 @@ func (c *cloneCache) keys() []string {
 // current entries. Intended for setup code and tests.
 func (w *Warehouse) SetCloneCacheSize(capacity int) {
 	w.cache = newCloneCache(capacity)
+	w.gCacheSize.Set(0)
 }
 
 // CacheKeys lists the cached images from most to least recently used —

@@ -12,7 +12,10 @@ import (
 	"bytes"
 	"encoding/xml"
 	"fmt"
+	"hash/fnv"
+	"io"
 	"sort"
+	"time"
 
 	"vmplants/internal/actions"
 	"vmplants/internal/core"
@@ -53,6 +56,17 @@ type Image struct {
 	// Disk is the golden virtual disk (frozen, clean top layer).
 	Disk *vdisk.Disk
 
+	// Derived marks an image the learning loop checkpointed back from
+	// a configured clone, as opposed to an installer-seeded golden
+	// machine. Derived images share their parent's disk extents (the
+	// checkpoint is copy-on-write) and are the only images capacity
+	// retirement may evict.
+	Derived bool
+	// Parent names the seed image a derived checkpoint was cloned
+	// from; the derived disk's extent files belong to the parent, so
+	// the parent holds a reference for the derived image's lifetime.
+	Parent string
+
 	// State file paths on the warehouse volume.
 	ConfigPath   string
 	MemImagePath string // empty for boot-style (UML) images
@@ -62,6 +76,16 @@ type Image struct {
 	// refs counts live clones whose virtual disks link into this
 	// image's state files; a referenced image cannot be retired.
 	refs int
+
+	// Usage statistics feeding utility-based retirement: how often the
+	// planner cloned this image, the summed match scores of those uses
+	// (configuration work the image saved), and when it was last used.
+	uses     int
+	scoreSum int
+	lastUsed time.Duration
+	// bytes is the volume space accounted to this image at publish
+	// time (shared parent extents excluded for derived images).
+	bytes int64
 }
 
 // Ref records a live clone of the image.
@@ -79,6 +103,17 @@ func (im *Image) Unref() error {
 // Refs reports live clones of the image.
 func (im *Image) Refs() int { return im.refs }
 
+// Uses reports how many creations cloned this image.
+func (im *Image) Uses() int { return im.uses }
+
+// Utility is the retirement score: summed match scores of the image's
+// uses, i.e. how much configuration work it has saved so far.
+func (im *Image) Utility() int { return im.scoreSum }
+
+// Bytes reports the volume space accounted to the image at publish
+// time (shared parent extents excluded for derived images).
+func (im *Image) Bytes() int64 { return im.bytes }
+
 // OS returns the installed operating system ("" for a blank machine).
 func (im *Image) OS() string {
 	if im.Guest == nil {
@@ -94,6 +129,19 @@ func (im *Image) MemImageBytes() int64 {
 		return 0
 	}
 	return int64(im.Hardware.MemoryMB+MemImageOverheadMB) * 1024 * 1024
+}
+
+// CheckpointBytes is the state a derived checkpoint of this image must
+// move to the warehouse: the redo log plus, for suspended-checkpoint
+// backends, the memory image. Unlike MemImageBytes it does not depend
+// on the files having been laid down yet, so publishers can price the
+// upload before the image is registered.
+func (im *Image) CheckpointBytes() int64 {
+	var mem int64
+	if im.Backend == BackendVMware {
+		mem = int64(im.Hardware.MemoryMB+MemImageOverheadMB) * 1024 * 1024
+	}
+	return im.Disk.RedoBytes() + mem
 }
 
 // Candidate converts the image to the matcher's view of it.
@@ -152,6 +200,13 @@ func (im *Image) Descriptor() Descriptor {
 	return d
 }
 
+// DescriptorXML serializes the image's descriptor to the XML bytes
+// stored beside it on the volume — and carried by the publish-image
+// RPC when a plant pushes a derived image to a remote warehouse.
+func (im *Image) DescriptorXML() ([]byte, error) {
+	return encodeDescriptor(im.Descriptor())
+}
+
 // ParseDescriptor decodes an XML descriptor and reconstructs the
 // performed-action list.
 func ParseDescriptor(blob []byte) (Descriptor, []dag.Action, error) {
@@ -183,11 +238,23 @@ type Warehouse struct {
 	images map[string]*Image
 	cache  *cloneCache
 
+	// capacity is the byte budget for image state on the volume; 0
+	// means unlimited. The budget is enforced against derived-image
+	// publications only — installer-seeded images always fit — by
+	// retiring the lowest-utility unreferenced derived image until the
+	// newcomer has room.
+	capacity  int64
+	bytesUsed int64
+	retired   int64
+
 	// Telemetry instruments (nil-safe no-ops when unset).
 	mLookups      *telemetry.Counter
 	mLookupMisses *telemetry.Counter
 	mPublishes    *telemetry.Counter
+	mRetirements  *telemetry.Counter
 	gImages       *telemetry.Gauge
+	gDerived      *telemetry.Gauge
+	gBytesUsed    *telemetry.Gauge
 	mCacheHits    *telemetry.Counter
 	mCacheMisses  *telemetry.Counter
 	gCacheSize    *telemetry.Gauge
@@ -205,27 +272,65 @@ func New(vol *storage.Volume) *Warehouse {
 // SetTelemetry wires the warehouse's instruments: image lookup counters
 // ("warehouse.lookups", "warehouse.lookup_misses"), the publish counter
 // ("warehouse.publishes"), the published-image gauge
-// ("warehouse.images") and the hot clone-cache instruments
+// ("warehouse.images"), the learning-loop instruments
+// ("warehouse.derived_images", "warehouse.retirements",
+// "warehouse.bytes_used") and the hot clone-cache instruments
 // ("warehouse.cache_hits", "warehouse.cache_misses",
 // "warehouse.cache_size"). Passing nil detaches them.
 func (w *Warehouse) SetTelemetry(h *telemetry.Hub) {
 	w.mLookups = h.Counter("warehouse.lookups")
 	w.mLookupMisses = h.Counter("warehouse.lookup_misses")
 	w.mPublishes = h.Counter("warehouse.publishes")
+	w.mRetirements = h.Counter("warehouse.retirements")
 	w.gImages = h.Gauge("warehouse.images")
+	w.gDerived = h.Gauge("warehouse.derived_images")
+	w.gBytesUsed = h.Gauge("warehouse.bytes_used")
 	w.mCacheHits = h.Counter("warehouse.cache_hits")
 	w.mCacheMisses = h.Counter("warehouse.cache_misses")
 	w.gCacheSize = h.Gauge("warehouse.cache_size")
 }
 
+// SetCapacity sets the byte budget for image state on the warehouse
+// volume (0 = unlimited). Derived-image publications that would exceed
+// it trigger utility-based retirement; seed images are never evicted.
+func (w *Warehouse) SetCapacity(bytes int64) { w.capacity = bytes }
+
+// Capacity returns the configured byte budget (0 = unlimited).
+func (w *Warehouse) Capacity() int64 { return w.capacity }
+
+// BytesUsed reports the volume space accounted to published images.
+func (w *Warehouse) BytesUsed() int64 { return w.bytesUsed }
+
+// DerivedCount reports how many derived images are published.
+func (w *Warehouse) DerivedCount() int {
+	n := 0
+	for _, im := range w.images {
+		if im.Derived {
+			n++
+		}
+	}
+	return n
+}
+
 // Volume returns the backing volume.
 func (w *Warehouse) Volume() *storage.Volume { return w.vol }
 
-// Publish registers a golden image and lays its state files down on the
-// warehouse volume. Publication is the paper's off-line "golden machine
-// definition" step, performed by installers before plants serve
-// requests, so no virtual time is charged.
-func (w *Warehouse) Publish(im *Image) error {
+// encodeDescriptor serializes an image descriptor to its on-volume XML
+// bytes. It is a package variable so tests can force an encode failure
+// and exercise Publish's error path.
+var encodeDescriptor = func(d Descriptor) ([]byte, error) {
+	var buf bytes.Buffer
+	enc := xml.NewEncoder(&buf)
+	enc.Indent("", "  ")
+	if err := enc.Encode(d); err != nil {
+		return nil, err
+	}
+	return buf.Bytes(), nil
+}
+
+// validate runs the publish-time checks shared by seed and derived
+// publications, filling im.Guest from a replay when unset.
+func (w *Warehouse) validate(im *Image) error {
 	if im.Name == "" {
 		return fmt.Errorf("warehouse: image needs a name")
 	}
@@ -254,10 +359,41 @@ func (w *Warehouse) Publish(im *Image) error {
 		return fmt.Errorf("warehouse: image %q records OS %q but history yields %q",
 			im.Name, im.Guest.OS, replayed.OS)
 	}
+	return nil
+}
+
+// register books the image into the store and updates the gauges.
+func (w *Warehouse) register(im *Image, accounted int64) {
+	im.bytes = accounted
+	w.bytesUsed += accounted
+	w.images[im.Name] = im
+	w.mPublishes.Inc()
+	w.gImages.Set(int64(len(w.images)))
+	w.gDerived.Set(int64(w.DerivedCount()))
+	w.gBytesUsed.Set(w.bytesUsed)
+}
+
+// Publish registers a seed golden image and lays its state files down
+// on the warehouse volume. Publication is the paper's off-line "golden
+// machine definition" step, performed by installers before plants serve
+// requests, so no virtual time is charged. The descriptor is encoded
+// before any file is laid down, so an encode failure leaves the volume
+// untouched.
+func (w *Warehouse) Publish(im *Image) error {
+	if im.Derived {
+		return fmt.Errorf("warehouse: image %q is derived; publish it through PublishDerived", im.Name)
+	}
+	if err := w.validate(im); err != nil {
+		return err
+	}
+	blob, err := encodeDescriptor(im.Descriptor())
+	if err != nil {
+		return fmt.Errorf("warehouse: image %q descriptor: %w", im.Name, err)
+	}
 
 	dir := "golden/" + im.Name + "/"
 	im.ConfigPath = dir + "vm.cfg"
-	w.vol.WriteMeta(im.ConfigPath, 2*1024)
+	w.vol.WriteMeta(im.ConfigPath, configBytes)
 	im.RedoPath = dir + "base.redo"
 	w.vol.WriteMeta(im.RedoPath, im.Disk.RedoBytes())
 	if im.Backend == BackendVMware {
@@ -271,22 +407,129 @@ func (w *Warehouse) Publish(im *Image) error {
 		w.vol.WriteMeta(p, extent)
 		im.ExtentPaths = append(im.ExtentPaths, p)
 	}
-	var buf bytes.Buffer
-	enc := xml.NewEncoder(&buf)
-	enc.Indent("", "  ")
-	if err := enc.Encode(im.Descriptor()); err != nil {
+	w.vol.WriteMeta(dir+"descriptor.xml", int64(len(blob)))
+	w.register(im, configBytes+im.Disk.RedoBytes()+im.MemImageBytes()+
+		extent*int64(DiskSpanFiles)+int64(len(blob)))
+	return nil
+}
+
+// configBytes is the size of a golden machine's VM configuration file.
+const configBytes = 2 * 1024
+
+// derivedStateBytes is the volume space a derived publication needs:
+// everything but the disk extents, which stay shared with the parent.
+func derivedStateBytes(im *Image, descriptorLen int) int64 {
+	return configBytes + im.CheckpointBytes() + int64(descriptorLen)
+}
+
+// PublishDerived registers a derived golden image — a copy-on-write
+// checkpoint of a configured clone that the learning loop publishes
+// back so future similar DAGs clone instead of reconfiguring. The
+// derived image shares its parent's disk extents (only config, redo,
+// memory state and descriptor are laid down) and holds a reference on
+// the parent for its lifetime. When a capacity budget is set and the
+// newcomer does not fit, the lowest-utility unreferenced derived image
+// is retired until it does; seed images are never evicted, and if
+// nothing can be retired the publication is refused.
+func (w *Warehouse) PublishDerived(im *Image, now time.Duration) error {
+	if !im.Derived || im.Parent == "" {
+		return fmt.Errorf("warehouse: image %q is not marked derived", im.Name)
+	}
+	parent, ok := w.images[im.Parent]
+	if !ok {
+		return fmt.Errorf("warehouse: derived image %q: no parent %q", im.Name, im.Parent)
+	}
+	if parent.Derived {
+		return fmt.Errorf("warehouse: derived image %q: parent %q is itself derived", im.Name, im.Parent)
+	}
+	if im.Backend != parent.Backend {
+		return fmt.Errorf("warehouse: derived image %q backend %q differs from parent's %q",
+			im.Name, im.Backend, parent.Backend)
+	}
+	if err := w.validate(im); err != nil {
+		return err
+	}
+	blob, err := encodeDescriptor(im.Descriptor())
+	if err != nil {
 		return fmt.Errorf("warehouse: image %q descriptor: %w", im.Name, err)
 	}
-	w.vol.WriteMeta(dir+"descriptor.xml", int64(buf.Len()))
-	w.images[im.Name] = im
-	w.mPublishes.Inc()
-	w.gImages.Set(int64(len(w.images)))
+	need := derivedStateBytes(im, len(blob))
+	if w.capacity > 0 {
+		for w.bytesUsed+need > w.capacity {
+			if err := w.retireOne(); err != nil {
+				return fmt.Errorf("warehouse: no room for derived image %q (%d of %d bytes used): %w",
+					im.Name, w.bytesUsed, w.capacity, err)
+			}
+		}
+	}
+
+	dir := "golden/" + im.Name + "/"
+	im.ConfigPath = dir + "vm.cfg"
+	w.vol.WriteMeta(im.ConfigPath, configBytes)
+	im.RedoPath = dir + "base.redo"
+	w.vol.WriteMeta(im.RedoPath, im.Disk.RedoBytes())
+	if im.Backend == BackendVMware {
+		im.MemImagePath = dir + "mem.vmss"
+		w.vol.WriteMeta(im.MemImagePath, im.MemImageBytes())
+	}
+	// The checkpoint is copy-on-write: clones of the derived image read
+	// base blocks from the parent's extent files.
+	im.ExtentPaths = append([]string(nil), parent.ExtentPaths...)
+	w.vol.WriteMeta(dir+"descriptor.xml", int64(len(blob)))
+	parent.Ref()
+	im.lastUsed = now
+	w.register(im, need)
 	return nil
+}
+
+// retireOne evicts the retirable derived image with the lowest utility
+// (summed match scores of its uses), breaking ties toward the least
+// recently used, then the lexicographically smallest name. Seed images
+// and images with live clones are never candidates.
+func (w *Warehouse) retireOne() error {
+	var victim *Image
+	for _, n := range w.List() {
+		im := w.images[n]
+		if !im.Derived || im.refs > 0 {
+			continue
+		}
+		if victim == nil ||
+			im.scoreSum < victim.scoreSum ||
+			(im.scoreSum == victim.scoreSum && im.lastUsed < victim.lastUsed) {
+			victim = im
+		}
+	}
+	if victim == nil {
+		return fmt.Errorf("every derived image is referenced")
+	}
+	w.unregister(victim)
+	w.retired++
+	w.mRetirements.Inc()
+	return nil
+}
+
+// Retirements reports how many derived images capacity pressure has
+// evicted.
+func (w *Warehouse) Retirements() int64 { return w.retired }
+
+// NoteUse records that a creation cloned the named image with the
+// given match score, feeding utility-based retirement.
+func (w *Warehouse) NoteUse(name string, score int, now time.Duration) {
+	im, ok := w.images[name]
+	if !ok {
+		return
+	}
+	im.uses++
+	im.scoreSum += score
+	im.lastUsed = now
 }
 
 // Remove retires a golden image, deleting its state files from the
 // warehouse volume. An image with live clones cannot be removed: their
-// virtual disks hold soft links into its extents.
+// virtual disks hold soft links into its extents. Removal is
+// idempotent over partial failures: files already gone are skipped, so
+// a retry after a crashed or interrupted removal completes instead of
+// wedging on the first missing path.
 func (w *Warehouse) Remove(name string) error {
 	im, ok := w.images[name]
 	if !ok {
@@ -295,20 +538,43 @@ func (w *Warehouse) Remove(name string) error {
 	if im.refs > 0 {
 		return fmt.Errorf("warehouse: image %q has %d live clones", name, im.refs)
 	}
-	paths := append([]string{im.ConfigPath, im.RedoPath, "golden/" + name + "/descriptor.xml"}, im.ExtentPaths...)
+	w.unregister(im)
+	return nil
+}
+
+// unregister sweeps an image's files off the volume (best-effort:
+// already-missing files are skipped) and unbooks it. A derived image's
+// extent files belong to its parent and are left alone; the parent
+// reference taken at publication is released.
+func (w *Warehouse) unregister(im *Image) {
+	paths := []string{im.ConfigPath, im.RedoPath, "golden/" + im.Name + "/descriptor.xml"}
+	if !im.Derived {
+		paths = append(paths, im.ExtentPaths...)
+	}
 	if im.MemImagePath != "" {
 		paths = append(paths, im.MemImagePath)
 	}
 	for _, p := range paths {
-		if err := w.vol.Delete(p); err != nil {
-			return err
+		if p == "" || !w.vol.Exists(p) {
+			continue
+		}
+		// Delete only fails on missing paths, which the guard excludes.
+		_ = w.vol.Delete(p)
+	}
+	if im.Derived {
+		if parent, ok := w.images[im.Parent]; ok {
+			// The publication-time reference; the parent outlives every
+			// derived child, so it is always still registered here.
+			_ = parent.Unref()
 		}
 	}
-	delete(w.images, name)
-	w.cache.drop(name)
+	w.bytesUsed -= im.bytes
+	delete(w.images, im.Name)
+	w.cache.drop(im.Name)
 	w.gCacheSize.Set(int64(w.cache.order.Len()))
 	w.gImages.Set(int64(len(w.images)))
-	return nil
+	w.gDerived.Set(int64(w.DerivedCount()))
+	w.gBytesUsed.Set(w.bytesUsed)
 }
 
 // Lookup returns a published image.
@@ -376,5 +642,51 @@ func BuildGolden(name string, hw core.HardwareSpec, backend string, performed []
 		Performed: performed,
 		Guest:     guest,
 		Disk:      disk,
+	}, nil
+}
+
+// DerivedName mints the warehouse key for a derived image from the DAG
+// fingerprint of its configuration history: two VMs configured through
+// the same action sequence yield the same name, so the learning loop
+// publishes each distinct configuration once.
+func DerivedName(backend string, history []dag.Action) string {
+	h := fnv.New64a()
+	for _, a := range history {
+		io.WriteString(h, a.Key())
+		h.Write([]byte{0})
+	}
+	return fmt.Sprintf("derived-%s-%012x", backend, h.Sum64()&0xffffffffffff)
+}
+
+// BuildDerived reconstructs a derived image from its descriptor
+// contents on the warehouse-host side of the publish-image RPC: the
+// configuration history is replayed for the guest state, and the disk
+// becomes a frozen copy-on-write snapshot over the parent's golden
+// disk with one dirty block per action executed beyond the parent's
+// history (mirroring what the configuration session wrote). The caller
+// publishes the result with PublishDerived.
+func BuildDerived(name string, parent *Image, performed []dag.Action) (*Image, error) {
+	guest, err := actions.Replay(performed)
+	if err != nil {
+		return nil, fmt.Errorf("warehouse: derived %q: %w", name, err)
+	}
+	disk := parent.Disk.Snapshot(name)
+	for i := len(parent.Performed); i < len(performed); i++ {
+		blk := make([]byte, vdisk.BlockSize)
+		copy(blk, fmt.Sprintf("derived %s action %d (%s)", name, i, performed[i].Op))
+		if err := disk.WriteBlock(int64(i), blk); err != nil {
+			return nil, err
+		}
+	}
+	disk.Freeze()
+	return &Image{
+		Name:      name,
+		Hardware:  parent.Hardware,
+		Backend:   parent.Backend,
+		Performed: performed,
+		Guest:     guest,
+		Disk:      disk,
+		Derived:   true,
+		Parent:    parent.Name,
 	}, nil
 }

@@ -53,6 +53,26 @@ func InVigoDAG(user, mac, ip string) (*dag.Graph, error) {
 		Build()
 }
 
+// InVigoUserEnvDAG is InVigoDAG plus one per-user environment package
+// (node J, hanging off the home-directory mount): the user's
+// application stack. It is by far the most expensive personalization
+// step, which makes it exactly what a derived golden image saves on
+// repeat requests — the warm experiment's workload.
+func InVigoUserEnvDAG(user, mac, ip string) (*dag.Graph, error) {
+	return dag.NewBuilder().
+		Add("A", act(actions.OpInstallOS, "distro", "redhat-8.0")).
+		Add("B", act(actions.OpInstallPackage, "name", "vnc-server"), "A").
+		Add("C", act(actions.OpInstallPackage, "name", "web-file-manager"), "B").
+		Add("D", act(actions.OpConfigureNetwork, "mac", mac, "ip", ip), "C").
+		Add("E", act(actions.OpCreateUser, "name", user), "D").
+		Add("F", act(actions.OpMountFS, "source", "nfs:/home/"+user, "mountpoint", "/home/"+user), "E").
+		Add("J", act(actions.OpInstallPackage, "name", "env-"+user), "F").
+		Add("G", act(actions.OpConfigureService, "name", "vnc"), "F").
+		Add("I", act(actions.OpStartService, "name", "file-manager"), "F").
+		Add("H", act(actions.OpStartService, "name", "vnc"), "G").
+		Build()
+}
+
 // GenericDAG is the un-personalized workspace DAG: exactly the golden
 // history, nothing more. Template-style provisioning (ablation A2) can
 // serve it from an exact-match image.

@@ -33,4 +33,8 @@ if [ "${CHECK_SHORT:-0}" != "1" ]; then
     # Batched-creation smoke: batch-16 must beat batch-1 by >= 3x while a
     # single request stays byte-identical to the serial path.
     go run ./cmd/vmbench -exp pipeline -series smoke >/dev/null
+    # Learning-loop smoke: publish-back must cut warm-half creation time
+    # >= 30% within the byte budget, retiring only unreferenced derived
+    # images, with same-seed reruns byte-identical.
+    go run ./cmd/vmbench -exp warm -series smoke >/dev/null
 fi
