@@ -4,7 +4,7 @@ GO ?= go
 STATICCHECK_VERSION ?= 2024.1.1
 STATICCHECK ?= staticcheck
 
-.PHONY: build test race vet lint check bench chaos pipeline warm
+.PHONY: build test race vet lint check bench chaos pipeline warm scrub
 
 build:
 	$(GO) build ./...
@@ -56,3 +56,12 @@ pipeline:
 # on the same seed.
 warm:
 	$(GO) run ./cmd/vmbench -exp warm -series smoke
+
+# scrub is the data-integrity smoke: a Zipf stream under injected
+# corruption (corrupt-extent on clone and scrub reads, torn-write on
+# publish) must complete every request from verified state, quarantine
+# every detected corruption, repair or retire it, keep seeds intact,
+# finish with a clean deep audit, and replay byte-identically on the
+# same seed.
+scrub:
+	$(GO) run ./cmd/vmbench -exp scrub -series smoke

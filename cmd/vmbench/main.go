@@ -25,7 +25,7 @@ import (
 
 func main() {
 	var (
-		exp      = flag.String("exp", "all", "experiment: all, fig4, fig5, fig6, copy, uml, cost, overhead, anatomy, trace, ablations, extensions, chaos, pipeline, warm")
+		exp      = flag.String("exp", "all", "experiment: all, fig4, fig5, fig6, copy, uml, cost, overhead, anatomy, trace, ablations, extensions, chaos, pipeline, warm, scrub")
 		seed     = flag.Int64("seed", 42, "random seed")
 		series   = flag.String("series", "paper", "request series scale: paper or smoke")
 		traceOut = flag.String("trace", "", "write the trace experiment's spans as JSONL to this file")
@@ -299,6 +299,32 @@ func main() {
 					100*res.Improvement, res.Retirements, overBudget, res.SeedsIntact, res.Failed, reproducible)
 			}
 		},
+		"scrub": func() {
+			opts := workload.ScrubOptions{}
+			if *series == "smoke" {
+				opts = workload.SmokeScrubOptions()
+			}
+			res, err := workload.RunScrub(*seed, opts)
+			if err != nil {
+				log.Fatalf("vmbench: %v", err)
+			}
+			header("Scrub: end-to-end data integrity under corruption injection")
+			for _, line := range res.Report() {
+				fmt.Println(line)
+			}
+			if err := res.Check(); err != nil {
+				log.Fatalf("vmbench: %v", err)
+			}
+			again, err := workload.RunScrub(*seed, opts)
+			if err != nil {
+				log.Fatalf("vmbench: %v", err)
+			}
+			reproducible := again.Fingerprint == res.Fingerprint
+			fmt.Printf("\nsame-seed rerun byte-identical: %v\n", reproducible)
+			if !reproducible {
+				log.Fatalf("vmbench: scrub run is not deterministic across same-seed reruns")
+			}
+		},
 		"ablations": func() {
 			a1, err := workload.RunAblationNoPartialMatch(*seed, 4)
 			if err != nil {
@@ -323,7 +349,7 @@ func main() {
 		},
 	}
 
-	order := []string{"fig4", "fig5", "fig6", "copy", "uml", "cost", "overhead", "anatomy", "trace", "ablations", "extensions", "chaos", "pipeline", "warm"}
+	order := []string{"fig4", "fig5", "fig6", "copy", "uml", "cost", "overhead", "anatomy", "trace", "ablations", "extensions", "chaos", "pipeline", "warm", "scrub"}
 	switch *exp {
 	case "all":
 		for _, name := range order {

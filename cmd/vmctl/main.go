@@ -63,6 +63,8 @@ func main() {
 		doQueue(args[1:])
 	case "warehouse":
 		doWarehouse(args[1:])
+	case "scrub":
+		doScrub(args[1:])
 	case "publish":
 		if len(args) < 3 {
 			usage()
@@ -75,7 +77,7 @@ func main() {
 }
 
 func usage() {
-	fmt.Fprintln(os.Stderr, "usage: vmctl [-shop addr] create [-spec file | -example] | query <vmid> | destroy <vmid> | suspend <vmid> | resume <vmid> | publish <vmid> <image> | ping | dot [-spec file] | stats [-debug addr] [-traces n] | queue [-debug addr,addr...] | warehouse [-debug addr,addr...]")
+	fmt.Fprintln(os.Stderr, "usage: vmctl [-shop addr] create [-spec file | -example] | query <vmid> | destroy <vmid> | suspend <vmid> | resume <vmid> | publish <vmid> <image> | ping | dot [-spec file] | stats [-debug addr] [-traces n] | queue [-debug addr,addr...] | warehouse [-debug addr,addr...] | scrub [-debug addr,addr...]")
 	os.Exit(2)
 }
 
@@ -255,6 +257,9 @@ func doWarehouse(args []string) {
 		"warehouse.cache_size",
 		"warehouse.cache_hits",
 		"warehouse.cache_misses",
+		"warehouse.corruptions_detected",
+		"warehouse.quarantined",
+		"warehouse.quarantine_size",
 	}
 	for _, addr := range strings.Split(*debugAddrs, ",") {
 		addr = strings.TrimSpace(addr)
@@ -279,6 +284,73 @@ func doWarehouse(args []string) {
 		}
 		if !found {
 			fmt.Println("  no warehouse metrics (daemon runs no plant?)")
+		}
+	}
+}
+
+// doScrub summarizes the warehouse's data-integrity state across one or
+// more daemons: scrub cadence and verification counts, detected
+// corruptions, quarantine and repair activity, plus the current
+// quarantine list from /debug/warehouse where the daemon exposes it.
+func doScrub(args []string) {
+	fs := flag.NewFlagSet("scrub", flag.ExitOnError)
+	debugAddrs := fs.String("debug", "localhost:7071", "comma-separated daemon debug HTTP addresses")
+	fs.Parse(args)
+
+	instruments := []string{
+		"warehouse.scrub_passes",
+		"warehouse.scrub_verified",
+		"warehouse.corruptions_detected",
+		"warehouse.quarantined",
+		"warehouse.quarantine_size",
+		"warehouse.repairs",
+		"warehouse.repair_bytes",
+		"warehouse.scrub_retirements",
+		"plant.verified_clones",
+		"fault.injections.corrupt-extent",
+		"fault.injections.torn-write",
+	}
+	for _, addr := range strings.Split(*debugAddrs, ",") {
+		addr = strings.TrimSpace(addr)
+		if addr == "" {
+			continue
+		}
+		body, err := httpGet(fmt.Sprintf("http://%s/metrics", addr))
+		if err != nil {
+			log.Fatalf("vmctl: %v", err)
+		}
+		var snap map[string]any
+		if err := json.Unmarshal(body, &snap); err != nil {
+			log.Fatalf("vmctl: bad /metrics response from %s: %v", addr, err)
+		}
+		fmt.Printf("%s:\n", addr)
+		found := false
+		for _, n := range instruments {
+			if v, ok := snap[n]; ok {
+				fmt.Printf("  %-32s %v\n", n, v)
+				found = true
+			}
+		}
+		if !found {
+			fmt.Println("  no integrity metrics (daemon runs no warehouse?)")
+		}
+		// The quarantine list lives on its own endpoint; daemons without
+		// a warehouse simply do not serve it.
+		if body, err := httpGet(fmt.Sprintf("http://%s/debug/warehouse", addr)); err == nil {
+			var state struct {
+				Quarantine []struct {
+					Image  string `json:"image"`
+					Reason string `json:"reason"`
+				} `json:"quarantine"`
+			}
+			if json.Unmarshal(body, &state) == nil {
+				if len(state.Quarantine) == 0 {
+					fmt.Println("  quarantine: empty")
+				}
+				for _, q := range state.Quarantine {
+					fmt.Printf("  quarantine: %s (%s)\n", q.Image, q.Reason)
+				}
+			}
 		}
 	}
 }

@@ -17,6 +17,7 @@ import (
 	"net"
 	"strconv"
 	"strings"
+	"time"
 
 	"vmplants/internal/cluster"
 	"vmplants/internal/core"
@@ -26,6 +27,7 @@ import (
 	"vmplants/internal/service"
 	"vmplants/internal/sim"
 	"vmplants/internal/simnet"
+	"vmplants/internal/storage"
 	"vmplants/internal/telemetry"
 	"vmplants/internal/vnet"
 	"vmplants/internal/warehouse"
@@ -48,6 +50,8 @@ func main() {
 		pubBack  = flag.Bool("publish-back", false, "checkpoint long-residual creations back to the warehouse as derived golden images")
 		pubMin   = flag.Int("publish-threshold", 0, "minimum residual ops before a creation is checkpointed (0 = default)")
 		budgetMB = flag.Int64("warehouse-budget", 0, "warehouse byte budget in MB beyond the seed images (0 = unlimited)")
+		scrubInt = flag.Duration("scrub", 0, "wall-clock interval between warehouse integrity scrub passes (0 = disabled)")
+		replica  = flag.Bool("replica", false, "mirror seed extents to a replica device so the scrubber can repair them")
 	)
 	flag.Parse()
 
@@ -95,12 +99,34 @@ func main() {
 	})
 	runner := service.NewRunner(k)
 
+	if *replica {
+		wh.SetReplica(storage.NewVolume("replica",
+			storage.NewDevice("replica-disk", 40<<20, 2*time.Millisecond)))
+	}
+	if *scrubInt > 0 {
+		// The daemon kernel runs to quiescence per request, so the
+		// scrubber cannot live there as a forever process; a wall-clock
+		// ticker drives one bounded pass at a time through the runner.
+		go func() {
+			for range time.Tick(*scrubInt) {
+				if err := runner.Do("warehouse/scrub", func(p *sim.Proc) {
+					wh.ScrubPass(p)
+				}); err != nil {
+					log.Printf("vmplantd: scrub pass: %v", err)
+				}
+			}
+		}()
+		log.Printf("warehouse scrubber every %v (replica=%v)", *scrubInt, *replica)
+	}
+
 	if *debug != "" {
-		addr, err := hub.ServeDebug(*debug)
+		mux := hub.DebugMux()
+		mux.Handle("/debug/warehouse", wh.DebugHandler())
+		addr, err := telemetry.Serve(*debug, mux)
 		if err != nil {
 			log.Fatalf("vmplantd: %v", err)
 		}
-		log.Printf("debug endpoints on http://%s/metrics and /debug/traces", addr)
+		log.Printf("debug endpoints on http://%s/metrics, /debug/traces and /debug/warehouse", addr)
 	}
 
 	if *vnetAddr != "" {

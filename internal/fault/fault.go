@@ -52,7 +52,20 @@ const (
 	// ActionFail fails one configuration action attempt, subject to the
 	// DAG node's error policy (retries / handler / continue).
 	ActionFail Kind = "action-fail"
+	// CorruptExtent silently scrambles the recorded checksum of one
+	// stored artifact at the storage layer — bit rot or a stale read
+	// surfacing on a warehouse read path (clone open, scrub).
+	CorruptExtent Kind = "corrupt-extent"
+	// TornWrite corrupts an artifact as it is laid down: a publish that
+	// reported success but left one file's content inconsistent with
+	// its recorded checksum.
+	TornWrite Kind = "torn-write"
 )
+
+// Kinds lists every exported fault kind. Telemetry wiring derives its
+// counter set from this slice, so a newly added kind cannot silently
+// miss its injection counter.
+var Kinds = []Kind{PlantCrash, RPCDrop, RPCDelay, CloneIO, SlowBid, ActionFail, CorruptExtent, TornWrite}
 
 // Wildcard matches every site in a rule key.
 const Wildcard = "*"
@@ -111,7 +124,7 @@ func (r *Registry) SetTelemetry(h *telemetry.Hub) {
 		return
 	}
 	r.tel = make(map[Kind]*telemetry.Counter)
-	for _, k := range []Kind{PlantCrash, RPCDrop, RPCDelay, CloneIO, SlowBid, ActionFail} {
+	for _, k := range Kinds {
 		r.tel[k] = h.Counter("fault.injections." + string(k))
 	}
 }

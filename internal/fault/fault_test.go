@@ -186,3 +186,35 @@ func TestTelemetryCounters(t *testing.T) {
 		t.Fatalf("telemetry counter = %d, want 3", got)
 	}
 }
+
+// Regression: SetTelemetry used to hard-code the kind list, so a newly
+// added kind silently missed its injection counter. The counter set is
+// now derived from Kinds; every exported kind must register and count.
+func TestTelemetryCoversAllKinds(t *testing.T) {
+	exported := []Kind{PlantCrash, RPCDrop, RPCDelay, CloneIO, SlowBid, ActionFail, CorruptExtent, TornWrite}
+	if len(Kinds) != len(exported) {
+		t.Fatalf("Kinds lists %d kinds, exported are %d — keep the slice in sync", len(Kinds), len(exported))
+	}
+	listed := map[Kind]bool{}
+	for _, k := range Kinds {
+		listed[k] = true
+	}
+	for _, k := range exported {
+		if !listed[k] {
+			t.Fatalf("exported kind %q missing from Kinds", k)
+		}
+	}
+
+	hub := telemetry.New()
+	r := NewRegistry(9)
+	r.SetTelemetry(hub)
+	for _, k := range Kinds {
+		r.Arm("site", k, "op", 1)
+		if !r.Should("site", k, "op") {
+			t.Fatalf("armed %q did not fire", k)
+		}
+		if got := hub.Counter("fault.injections." + string(k)).Value(); got != 1 {
+			t.Errorf("kind %q: telemetry counter = %d, want 1", k, got)
+		}
+	}
+}

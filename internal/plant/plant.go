@@ -137,23 +137,24 @@ type Plant struct {
 
 	// Telemetry instruments, resolved once in New; all nil (no-op)
 	// when cfg.Telemetry is nil.
-	tel           *telemetry.Hub
-	mCreates      *telemetry.Counter
-	mCreateFails  *telemetry.Counter
-	mCollects     *telemetry.Counter
-	mMigrations   *telemetry.Counter
-	mPrecreateHit *telemetry.Counter
-	mImageHits    *telemetry.Counter
-	mImageMisses  *telemetry.Counter
-	mCloneBytes   *telemetry.Counter
-	mCloneLinks   *telemetry.Counter
-	mCrashes      *telemetry.Counter
-	mRecoveries   *telemetry.Counter
-	mPublishBacks *telemetry.Counter
-	gActiveVMs    *telemetry.Gauge
-	hCreateSecs   *telemetry.Histogram
-	hCloneSecs    *telemetry.Histogram
-	hConfigSecs   *telemetry.Histogram
+	tel             *telemetry.Hub
+	mCreates        *telemetry.Counter
+	mCreateFails    *telemetry.Counter
+	mCollects       *telemetry.Counter
+	mMigrations     *telemetry.Counter
+	mPrecreateHit   *telemetry.Counter
+	mImageHits      *telemetry.Counter
+	mImageMisses    *telemetry.Counter
+	mCloneBytes     *telemetry.Counter
+	mCloneLinks     *telemetry.Counter
+	mCrashes        *telemetry.Counter
+	mRecoveries     *telemetry.Counter
+	mPublishBacks   *telemetry.Counter
+	mVerifiedClones *telemetry.Counter
+	gActiveVMs      *telemetry.Gauge
+	hCreateSecs     *telemetry.Histogram
+	hCloneSecs      *telemetry.Histogram
+	hConfigSecs     *telemetry.Histogram
 
 	gCloneInflight    *telemetry.Gauge
 	gCloneInflightMax *telemetry.Gauge
@@ -216,23 +217,24 @@ func New(name string, node *cluster.Node, wh *warehouse.Warehouse, cfg Config) *
 		rng:    rng,
 		faults: faults,
 
-		tel:           tel,
-		mCreates:      tel.Counter("plant.creations"),
-		mCreateFails:  tel.Counter("plant.create_failures"),
-		mCollects:     tel.Counter("plant.collections"),
-		mMigrations:   tel.Counter("plant.migrations"),
-		mPrecreateHit: tel.Counter("plant.precreate_hits"),
-		mImageHits:    tel.Counter("warehouse.image_hits"),
-		mImageMisses:  tel.Counter("warehouse.image_misses"),
-		mCloneBytes:   tel.Counter("vmm.clone_bytes_copied"),
-		mCloneLinks:   tel.Counter("vmm.clone_extents_linked"),
-		mCrashes:      tel.Counter("plant.crashes"),
-		mRecoveries:   tel.Counter("plant.recoveries"),
-		mPublishBacks: tel.Counter("plant.publish_backs"),
-		gActiveVMs:    tel.Gauge("plant.active_vms"),
-		hCreateSecs:   tel.Histogram("plant.create_secs"),
-		hCloneSecs:    tel.Histogram("plant.clone_secs"),
-		hConfigSecs:   tel.Histogram("plant.configure_secs"),
+		tel:             tel,
+		mCreates:        tel.Counter("plant.creations"),
+		mCreateFails:    tel.Counter("plant.create_failures"),
+		mCollects:       tel.Counter("plant.collections"),
+		mMigrations:     tel.Counter("plant.migrations"),
+		mPrecreateHit:   tel.Counter("plant.precreate_hits"),
+		mImageHits:      tel.Counter("warehouse.image_hits"),
+		mImageMisses:    tel.Counter("warehouse.image_misses"),
+		mCloneBytes:     tel.Counter("vmm.clone_bytes_copied"),
+		mCloneLinks:     tel.Counter("vmm.clone_extents_linked"),
+		mCrashes:        tel.Counter("plant.crashes"),
+		mRecoveries:     tel.Counter("plant.recoveries"),
+		mPublishBacks:   tel.Counter("plant.publish_backs"),
+		mVerifiedClones: tel.Counter("plant.verified_clones"),
+		gActiveVMs:      tel.Gauge("plant.active_vms"),
+		hCreateSecs:     tel.Histogram("plant.create_secs"),
+		hCloneSecs:      tel.Histogram("plant.clone_secs"),
+		hConfigSecs:     tel.Histogram("plant.configure_secs"),
 
 		gCloneInflight:    tel.Gauge("plant.clone_inflight"),
 		gCloneInflightMax: tel.Gauge("plant.clone_inflight_max"),
@@ -413,7 +415,7 @@ func (pl *Plant) Create(p *sim.Proc, id core.VMID, spec *core.Spec) (_ *classad.
 	// re-parse and extent walk.
 	cctx, err := pl.wh.OpenClone(best.Candidate.ID)
 	if err != nil {
-		return nil, fmt.Errorf("plant %s: matched image %q vanished: %w", pl.name, best.Candidate.ID, err)
+		return nil, fmt.Errorf("plant %s: matched image %q unavailable: %w", pl.name, best.Candidate.ID, err)
 	}
 	golden := cctx.Image
 	backend, err := pl.cfg.Backends.Get(spec.Backend)
@@ -480,6 +482,20 @@ func (pl *Plant) Create(p *sim.Proc, id core.VMID, spec *core.Spec) (_ *classad.
 			cloneSp.EndErr(p, cerr)
 			return nil, cerr
 		}
+		// Integrity gate: the state copy slept in virtual time, so the
+		// image may have been quarantined or repaired underneath it. A
+		// clone that read suspect bytes is destroyed and the transient
+		// error re-bids the creation rather than resuming corrupt state.
+		if err := pl.wh.VerifyClone(cctx); err != nil {
+			vm.Collect(p)
+			releaseSlot()
+			releaseNet()
+			releaseRef()
+			cerr := fmt.Errorf("plant %s: clone: %w", pl.name, err)
+			cloneSp.EndErr(p, cerr)
+			return nil, cerr
+		}
+		pl.mVerifiedClones.Inc()
 	}
 	pl.recordClone(cloneSp, cloneStart, cloneStats, backend.Name(), hit)
 	cloneSp.End(p)
@@ -943,10 +959,14 @@ func (pl *Plant) Precreate(p *sim.Proc, image string, count int) (err error) {
 		Set("golden", image).
 		SetInt("count", int64(count))
 	defer func() { sp.EndErr(p, err) }()
-	golden, ok := pl.wh.Lookup(image)
-	if !ok {
-		return fmt.Errorf("plant %s: no golden image %q", pl.name, image)
+	// Open through the clone cache like Create does: a quarantined image
+	// refuses (speculation must not park clones of suspect state), and
+	// the cold verification cost is paid here, off the critical path.
+	cctx, err := pl.wh.OpenClone(image)
+	if err != nil {
+		return fmt.Errorf("plant %s: precreate %q: %w", pl.name, image, err)
 	}
+	golden := cctx.Image
 	backend, err := pl.cfg.Backends.Get(golden.Backend)
 	if err != nil {
 		return err

@@ -70,6 +70,11 @@ type entry struct {
 	size    int64
 	linkTo  string // non-empty for same-volume symlinks
 	foreign *foreignRef
+	// sum is the content checksum recorded when the file was written
+	// (0 = unchecksummed). Integrity-aware writers record it alongside
+	// the size; corruption faults scramble it so verifying readers see
+	// the mismatch a real bit flip would produce.
+	sum uint64
 }
 
 // foreignRef is a cross-volume symlink target (a local path pointing at
@@ -161,6 +166,47 @@ func (v *Volume) WriteMeta(path string, size int64) {
 	v.files[path] = entry{size: size}
 }
 
+// WriteMetaSum is WriteMeta with a recorded content checksum — how the
+// warehouse lays down artifacts whose integrity clone and scrub paths
+// later verify.
+func (v *Volume) WriteMetaSum(path string, size int64, sum uint64) {
+	v.files[path] = entry{size: size, sum: sum}
+}
+
+// Checksum returns a file's recorded content checksum, resolving one
+// level of links the way Stat does. The bool reports whether the path
+// exists; a present file may still carry sum 0 (unchecksummed).
+func (v *Volume) Checksum(path string) (uint64, bool) {
+	e, ok := v.files[path]
+	if !ok {
+		return 0, false
+	}
+	if e.foreign != nil {
+		return e.foreign.vol.Checksum(e.foreign.path)
+	}
+	if e.linkTo != "" {
+		t, ok := v.files[e.linkTo]
+		if !ok {
+			return 0, false
+		}
+		return t.sum, true
+	}
+	return e.sum, true
+}
+
+// SetChecksum overwrites the checksum recorded on a direct (non-link)
+// entry. Repair paths use it to restore a good sum; corruption faults
+// use it to scramble one.
+func (v *Volume) SetChecksum(path string, sum uint64) error {
+	e, ok := v.files[path]
+	if !ok {
+		return fmt.Errorf("storage: %s: checksum of missing %q", v.name, path)
+	}
+	e.sum = sum
+	v.files[path] = e
+	return nil
+}
+
 // Read pays the device's read cost for the whole file and returns its
 // size.
 func (v *Volume) Read(p *sim.Proc, path string, scale float64) (int64, error) {
@@ -224,7 +270,10 @@ func (v *Volume) CopyTo(p *sim.Proc, src string, dst *Volume, dstPath string, sc
 	// overhead (its bandwidth is subsumed by the bottleneck rate).
 	v.dev.transfer(p, size, scale*srcBW/eff)
 	p.Sleep(dst.dev.pipe.PerTransferOverhead)
-	dst.files[dstPath] = entry{size: size}
+	// The copy carries the source's recorded checksum: a faithful byte
+	// stream reproduces the content, corrupted or not.
+	sum, _ := v.Checksum(src)
+	dst.files[dstPath] = entry{size: size, sum: sum}
 	return size, nil
 }
 

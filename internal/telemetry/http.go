@@ -65,6 +65,13 @@ func (t *Tracer) WriteJSONL(w io.Writer) error {
 //	GET /debug/traces         finished spans as JSONL (?limit=N for the
 //	                          most recent N, ?name=prefix to filter)
 func (h *Hub) HTTPHandler() http.Handler {
+	return h.DebugMux()
+}
+
+// DebugMux returns the hub's debug endpoints as a mux the caller can
+// extend with subsystem-specific handlers (the daemons add
+// /debug/warehouse) before serving.
+func (h *Hub) DebugMux() *http.ServeMux {
 	mux := http.NewServeMux()
 	mux.HandleFunc("/metrics", func(w http.ResponseWriter, _ *http.Request) {
 		w.Header().Set("Content-Type", "application/json")
@@ -105,10 +112,16 @@ func hasPrefix(s, prefix string) bool {
 // goroutine and returns the bound address (useful with ":0"). The
 // listener lives until the process exits.
 func (h *Hub) ServeDebug(addr string) (string, error) {
+	return Serve(addr, h.HTTPHandler())
+}
+
+// Serve starts handler on addr in a background goroutine and returns
+// the bound address — ServeDebug for a caller-extended mux.
+func Serve(addr string, handler http.Handler) (string, error) {
 	l, err := net.Listen("tcp", addr)
 	if err != nil {
 		return "", fmt.Errorf("telemetry: debug listen %s: %w", addr, err)
 	}
-	go http.Serve(l, h.HTTPHandler())
+	go http.Serve(l, handler)
 	return l.Addr().String(), nil
 }

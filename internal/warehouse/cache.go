@@ -5,6 +5,9 @@ import (
 	"container/list"
 	"encoding/xml"
 	"fmt"
+
+	"vmplants/internal/core"
+	"vmplants/internal/fault"
 )
 
 // DefaultCloneCacheSize is how many golden images' clone contexts the
@@ -26,6 +29,10 @@ type CloneContext struct {
 	ExtentPaths []string
 	ExtentBytes int64 // total size of the extent files
 	StateBytes  int64 // redo log + memory image copied per clone
+	// Epoch is the image's integrity epoch at fill time; VerifyClone
+	// compares it after the state copy so a quarantine/repair landing
+	// mid-clone fails the creation over instead of resuming it.
+	Epoch int64
 }
 
 // cloneCache is an LRU over recently cloned images' CloneContexts. It
@@ -139,20 +146,40 @@ func (w *Warehouse) buildCloneContext(im *Image) (*CloneContext, error) {
 // daemon CPU, not simulated state I/O — so cached and uncached opens
 // leave creation timing byte-identical; the cache buys real (wall
 // clock) work and the hit/miss counters feed the pipeline experiment.
+//
+// Every open refuses quarantined images with a transient error (the
+// shop re-bids elsewhere). A cache miss additionally verifies the
+// image's recorded checksums against the volume — the PR 3 cache is
+// what amortizes integrity: verify once per fill, not per clone. The
+// check is a metadata compare (no data movement), preserving the
+// zero-virtual-time contract above. The clone read is also where a
+// corrupt-extent fault surfaces, atomically with its detection.
 func (w *Warehouse) OpenClone(name string) (*CloneContext, error) {
 	im, ok := w.Lookup(name)
 	if !ok {
 		return nil, fmt.Errorf("warehouse: no image %q", name)
+	}
+	if w.IsQuarantined(name) {
+		return nil, fmt.Errorf("warehouse: image %q is quarantined: %w", name, core.ErrTransient)
 	}
 	if ctx, ok := w.cache.get(name); ok {
 		w.mCacheHits.Inc()
 		return ctx, nil
 	}
 	w.mCacheMisses.Inc()
+	if w.faults.Should(integritySite, fault.CorruptExtent, "clone") {
+		w.corruptPath(corruptTarget(im))
+	}
+	if bad := w.badArtifacts(im); len(bad) > 0 {
+		w.detect(im, bad, "clone")
+		return nil, fmt.Errorf("warehouse: image %q failed checksum verification (%s): %w",
+			name, bad[0], core.ErrTransient)
+	}
 	ctx, err := w.buildCloneContext(im)
 	if err != nil {
 		return nil, err
 	}
+	ctx.Epoch = im.epoch
 	w.cache.put(name, ctx)
 	w.gCacheSize.Set(int64(w.cache.order.Len()))
 	return ctx, nil

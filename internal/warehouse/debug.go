@@ -1,0 +1,33 @@
+package warehouse
+
+import (
+	"encoding/json"
+	"net/http"
+)
+
+// quarantineEntry is the JSON shape of one quarantined image on the
+// debug endpoint.
+type quarantineEntry struct {
+	Image  string `json:"image"`
+	Reason string `json:"reason"`
+}
+
+// DebugHandler serves the warehouse's integrity state as JSON — the
+// current quarantine list with reasons. Only quarantine state is
+// exposed: it lives under its own mutex precisely so out-of-kernel
+// readers like this handler never race the kernel-owned image maps.
+func (w *Warehouse) DebugHandler() http.Handler {
+	return http.HandlerFunc(func(rw http.ResponseWriter, _ *http.Request) {
+		entries := []quarantineEntry{}
+		for _, name := range w.Quarantined() {
+			reason, _ := w.QuarantineReason(name)
+			entries = append(entries, quarantineEntry{Image: name, Reason: reason})
+		}
+		rw.Header().Set("Content-Type", "application/json")
+		enc := json.NewEncoder(rw)
+		enc.SetIndent("", "  ")
+		enc.Encode(struct {
+			Quarantine []quarantineEntry `json:"quarantine"`
+		}{entries})
+	})
+}

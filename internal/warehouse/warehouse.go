@@ -15,11 +15,13 @@ import (
 	"hash/fnv"
 	"io"
 	"sort"
+	"sync"
 	"time"
 
 	"vmplants/internal/actions"
 	"vmplants/internal/core"
 	"vmplants/internal/dag"
+	"vmplants/internal/fault"
 	"vmplants/internal/match"
 	"vmplants/internal/storage"
 	"vmplants/internal/telemetry"
@@ -72,6 +74,15 @@ type Image struct {
 	MemImagePath string // empty for boot-style (UML) images
 	RedoPath     string
 	ExtentPaths  []string
+
+	// Sums maps every state-file path (descriptor included) to its
+	// canonical content checksum, computed at publish time. The volume
+	// records the same sums in its namespace; clone and scrub paths
+	// verify the two still agree.
+	Sums map[string]uint64
+	// epoch advances whenever the image's integrity status changes
+	// (quarantine, repair); see Epoch.
+	epoch int64
 
 	// refs counts live clones whose virtual disks link into this
 	// image's state files; a referenced image cannot be retired.
@@ -162,6 +173,16 @@ type Descriptor struct {
 	DiskMB   int           `xml:"hardware>diskMB"`
 	OS       string        `xml:"os"`
 	Actions  []descrAction `xml:"performed>action"`
+	// Integrity records the content checksum of every other state file
+	// (the descriptor cannot checksum itself), paper-style: the XML
+	// descriptor is the image's manifest, so it carries the sums a
+	// reader needs to verify what it is about to clone.
+	Integrity []descrSum `xml:"integrity>artifact"`
+}
+
+type descrSum struct {
+	Path string `xml:"path,attr"`
+	Sum  string `xml:"sum,attr"`
 }
 
 type descrAction struct {
@@ -196,6 +217,13 @@ func (im *Image) Descriptor() Descriptor {
 			da.Params = append(da.Params, descrParam{Name: k, Value: a.Params[k]})
 		}
 		d.Actions = append(d.Actions, da)
+	}
+	own := im.descriptorPath()
+	for _, p := range im.sumPaths() {
+		if p == own {
+			continue
+		}
+		d.Integrity = append(d.Integrity, descrSum{Path: p, Sum: fmt.Sprintf("%016x", im.Sums[p])})
 	}
 	return d
 }
@@ -238,6 +266,24 @@ type Warehouse struct {
 	images map[string]*Image
 	cache  *cloneCache
 
+	// faults decides corruption injections on the warehouse's storage
+	// paths; nil means no injection (SetFaults).
+	faults *fault.Registry
+	// replica is the second copy seed extents are restored from when
+	// corruption is detected; nil means seeds are unrepairable
+	// (SetReplica).
+	replica *storage.Volume
+
+	// quarantine maps out-of-service image names to the reason they
+	// were pulled. qmu covers it (and repairFails) for out-of-kernel
+	// observers like debug endpoints; all mutation happens in-kernel.
+	qmu         sync.Mutex
+	quarantine  map[string]string
+	repairFails map[string]int
+	// repairLimit is how many failed repair passes the scrubber allows
+	// before retiring an unrepairable (derived, unreferenced) image.
+	repairLimit int
+
 	// capacity is the byte budget for image state on the volume; 0
 	// means unlimited. The budget is enforced against derived-image
 	// publications only — installer-seeded images always fit — by
@@ -258,14 +304,27 @@ type Warehouse struct {
 	mCacheHits    *telemetry.Counter
 	mCacheMisses  *telemetry.Counter
 	gCacheSize    *telemetry.Gauge
+
+	// Integrity instruments.
+	mScrubPasses   *telemetry.Counter
+	mScrubVerified *telemetry.Counter
+	mCorruptions   *telemetry.Counter
+	mQuarantines   *telemetry.Counter
+	mRepairs       *telemetry.Counter
+	mRepairBytes   *telemetry.Counter
+	mScrubRetire   *telemetry.Counter
+	gQuarantine    *telemetry.Gauge
 }
 
 // New creates an empty warehouse on the given (server-side) volume.
 func New(vol *storage.Volume) *Warehouse {
 	return &Warehouse{
-		vol:    vol,
-		images: make(map[string]*Image),
-		cache:  newCloneCache(DefaultCloneCacheSize),
+		vol:         vol,
+		images:      make(map[string]*Image),
+		cache:       newCloneCache(DefaultCloneCacheSize),
+		quarantine:  make(map[string]string),
+		repairFails: make(map[string]int),
+		repairLimit: DefaultRepairAttempts,
 	}
 }
 
@@ -288,6 +347,14 @@ func (w *Warehouse) SetTelemetry(h *telemetry.Hub) {
 	w.mCacheHits = h.Counter("warehouse.cache_hits")
 	w.mCacheMisses = h.Counter("warehouse.cache_misses")
 	w.gCacheSize = h.Gauge("warehouse.cache_size")
+	w.mScrubPasses = h.Counter("warehouse.scrub_passes")
+	w.mScrubVerified = h.Counter("warehouse.scrub_verified")
+	w.mCorruptions = h.Counter("warehouse.corruptions_detected")
+	w.mQuarantines = h.Counter("warehouse.quarantined")
+	w.mRepairs = h.Counter("warehouse.repairs")
+	w.mRepairBytes = h.Counter("warehouse.repair_bytes")
+	w.mScrubRetire = h.Counter("warehouse.scrub_retirements")
+	w.gQuarantine = h.Gauge("warehouse.quarantine_size")
 }
 
 // SetCapacity sets the byte budget for image state on the warehouse
@@ -386,30 +453,44 @@ func (w *Warehouse) Publish(im *Image) error {
 	if err := w.validate(im); err != nil {
 		return err
 	}
-	blob, err := encodeDescriptor(im.Descriptor())
-	if err != nil {
-		return fmt.Errorf("warehouse: image %q descriptor: %w", im.Name, err)
-	}
 
+	// Stamp paths and checksums before encoding: the descriptor's
+	// integrity section records them. Nothing touches the volume until
+	// the encode succeeds, so an encode failure leaves it untouched.
 	dir := "golden/" + im.Name + "/"
 	im.ConfigPath = dir + "vm.cfg"
-	w.vol.WriteMeta(im.ConfigPath, configBytes)
 	im.RedoPath = dir + "base.redo"
-	w.vol.WriteMeta(im.RedoPath, im.Disk.RedoBytes())
 	if im.Backend == BackendVMware {
 		im.MemImagePath = dir + "mem.vmss"
-		w.vol.WriteMeta(im.MemImagePath, im.MemImageBytes())
 	}
 	im.ExtentPaths = nil
 	extent := im.Disk.Base().SizeBytes() / int64(DiskSpanFiles)
 	for i := 0; i < DiskSpanFiles; i++ {
-		p := fmt.Sprintf("%sdisk-s%03d.vmdk", dir, i)
-		w.vol.WriteMeta(p, extent)
-		im.ExtentPaths = append(im.ExtentPaths, p)
+		im.ExtentPaths = append(im.ExtentPaths, fmt.Sprintf("%sdisk-s%03d.vmdk", dir, i))
 	}
-	w.vol.WriteMeta(dir+"descriptor.xml", int64(len(blob)))
+	im.stampSums(nil)
+	blob, err := encodeDescriptor(im.Descriptor())
+	if err != nil {
+		return fmt.Errorf("warehouse: image %q descriptor: %w", im.Name, err)
+	}
+	descPath := im.descriptorPath()
+	im.Sums[descPath] = artifactSum(descPath, int64(len(blob)), 0)
+
+	w.vol.WriteMetaSum(im.ConfigPath, configBytes, im.Sums[im.ConfigPath])
+	w.vol.WriteMetaSum(im.RedoPath, im.Disk.RedoBytes(), im.Sums[im.RedoPath])
+	if im.MemImagePath != "" {
+		w.vol.WriteMetaSum(im.MemImagePath, im.MemImageBytes(), im.Sums[im.MemImagePath])
+	}
+	for _, p := range im.ExtentPaths {
+		w.vol.WriteMetaSum(p, extent, im.Sums[p])
+	}
+	w.vol.WriteMetaSum(descPath, int64(len(blob)), im.Sums[descPath])
 	w.register(im, configBytes+im.Disk.RedoBytes()+im.MemImageBytes()+
 		extent*int64(DiskSpanFiles)+int64(len(blob)))
+	w.mirror(im)
+	if w.faults.Should(integritySite, fault.TornWrite, "publish") {
+		w.corruptPath(im.RedoPath)
+	}
 	return nil
 }
 
@@ -449,10 +530,23 @@ func (w *Warehouse) PublishDerived(im *Image, now time.Duration) error {
 	if err := w.validate(im); err != nil {
 		return err
 	}
+
+	dir := "golden/" + im.Name + "/"
+	im.ConfigPath = dir + "vm.cfg"
+	im.RedoPath = dir + "base.redo"
+	if im.Backend == BackendVMware {
+		im.MemImagePath = dir + "mem.vmss"
+	}
+	// The checkpoint is copy-on-write: clones of the derived image read
+	// base blocks from the parent's extent files.
+	im.ExtentPaths = append([]string(nil), parent.ExtentPaths...)
+	im.stampSums(parent)
 	blob, err := encodeDescriptor(im.Descriptor())
 	if err != nil {
 		return fmt.Errorf("warehouse: image %q descriptor: %w", im.Name, err)
 	}
+	descPath := im.descriptorPath()
+	im.Sums[descPath] = artifactSum(descPath, int64(len(blob)), 0)
 	need := derivedStateBytes(im, len(blob))
 	if w.capacity > 0 {
 		for w.bytesUsed+need > w.capacity {
@@ -463,22 +557,18 @@ func (w *Warehouse) PublishDerived(im *Image, now time.Duration) error {
 		}
 	}
 
-	dir := "golden/" + im.Name + "/"
-	im.ConfigPath = dir + "vm.cfg"
-	w.vol.WriteMeta(im.ConfigPath, configBytes)
-	im.RedoPath = dir + "base.redo"
-	w.vol.WriteMeta(im.RedoPath, im.Disk.RedoBytes())
-	if im.Backend == BackendVMware {
-		im.MemImagePath = dir + "mem.vmss"
-		w.vol.WriteMeta(im.MemImagePath, im.MemImageBytes())
+	w.vol.WriteMetaSum(im.ConfigPath, configBytes, im.Sums[im.ConfigPath])
+	w.vol.WriteMetaSum(im.RedoPath, im.Disk.RedoBytes(), im.Sums[im.RedoPath])
+	if im.MemImagePath != "" {
+		w.vol.WriteMetaSum(im.MemImagePath, im.MemImageBytes(), im.Sums[im.MemImagePath])
 	}
-	// The checkpoint is copy-on-write: clones of the derived image read
-	// base blocks from the parent's extent files.
-	im.ExtentPaths = append([]string(nil), parent.ExtentPaths...)
-	w.vol.WriteMeta(dir+"descriptor.xml", int64(len(blob)))
+	w.vol.WriteMetaSum(descPath, int64(len(blob)), im.Sums[descPath])
 	parent.Ref()
 	im.lastUsed = now
 	w.register(im, need)
+	if w.faults.Should(integritySite, fault.TornWrite, "publish") {
+		w.corruptPath(im.RedoPath)
+	}
 	return nil
 }
 
@@ -570,6 +660,12 @@ func (w *Warehouse) unregister(im *Image) {
 	}
 	w.bytesUsed -= im.bytes
 	delete(w.images, im.Name)
+	w.qmu.Lock()
+	delete(w.quarantine, im.Name)
+	delete(w.repairFails, im.Name)
+	qn := len(w.quarantine)
+	w.qmu.Unlock()
+	w.gQuarantine.Set(int64(qn))
 	w.cache.drop(im.Name)
 	w.gCacheSize.Set(int64(w.cache.order.Len()))
 	w.gImages.Set(int64(len(w.images)))
@@ -598,12 +694,17 @@ func (w *Warehouse) List() []string {
 }
 
 // Candidates returns the matcher's view of every image suited to the
-// given backend ("" means any), in deterministic order.
+// given backend ("" means any), in deterministic order. Quarantined
+// images are invisible to matching: no new creation may bind to state
+// under suspicion.
 func (w *Warehouse) Candidates(backend string) []match.Candidate {
 	var out []match.Candidate
 	for _, n := range w.List() {
 		im := w.images[n]
 		if backend != "" && im.Backend != backend {
+			continue
+		}
+		if w.IsQuarantined(n) {
 			continue
 		}
 		out = append(out, im.Candidate())

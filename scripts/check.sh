@@ -37,4 +37,9 @@ if [ "${CHECK_SHORT:-0}" != "1" ]; then
     # >= 30% within the byte budget, retiring only unreferenced derived
     # images, with same-seed reruns byte-identical.
     go run ./cmd/vmbench -exp warm -series smoke >/dev/null
+    # Data-integrity smoke: under injected corruption every creation
+    # must resume from verified state, every detection must quarantine
+    # and heal (or retire), seeds stay intact, the end audit is clean,
+    # and same-seed reruns are byte-identical.
+    go run ./cmd/vmbench -exp scrub -series smoke >/dev/null
 fi
