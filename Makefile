@@ -4,7 +4,7 @@ GO ?= go
 STATICCHECK_VERSION ?= 2024.1.1
 STATICCHECK ?= staticcheck
 
-.PHONY: build test race vet lint check bench chaos pipeline warm scrub
+.PHONY: build test race vet lint check bench chaos pipeline warm scrub slo
 
 build:
 	$(GO) build ./...
@@ -65,3 +65,10 @@ warm:
 # same seed.
 scrub:
 	$(GO) run ./cmd/vmbench -exp scrub -series smoke
+
+# slo is the observability smoke: a warm batch plus a chaos burst in
+# which every creation must yield exactly one rooted span tree crossing
+# shop, plant and clone layers, a complete flight-recorder timeline,
+# and SLO objectives that hold, with same-seed reruns byte-identical.
+slo:
+	$(GO) run ./cmd/vmbench -exp slo -series smoke

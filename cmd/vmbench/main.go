@@ -25,10 +25,10 @@ import (
 
 func main() {
 	var (
-		exp      = flag.String("exp", "all", "experiment: all, fig4, fig5, fig6, copy, uml, cost, overhead, anatomy, trace, ablations, extensions, chaos, pipeline, warm, scrub")
+		exp      = flag.String("exp", "all", "experiment: all, fig4, fig5, fig6, copy, uml, cost, overhead, anatomy, trace, ablations, extensions, chaos, pipeline, warm, scrub, slo")
 		seed     = flag.Int64("seed", 42, "random seed")
 		series   = flag.String("series", "paper", "request series scale: paper or smoke")
-		traceOut = flag.String("trace", "", "write the trace experiment's spans as JSONL to this file")
+		traceOut = flag.String("trace", "", "write the trace experiment's spans as JSONL — or the slo experiment's spans as Chrome trace-event JSON — to this file")
 	)
 	flag.Parse()
 
@@ -325,6 +325,43 @@ func main() {
 				log.Fatalf("vmbench: scrub run is not deterministic across same-seed reruns")
 			}
 		},
+		"slo": func() {
+			opts := workload.SLOOptions{}
+			if *series == "smoke" {
+				opts = workload.SLOOptions{WarmBatch: 8, ChaosRequests: 8}
+			}
+			res, err := workload.RunSLO(*seed, opts)
+			if err != nil {
+				log.Fatalf("vmbench: %v", err)
+			}
+			header("SLO: causal tracing, flight recorder and objectives under chaos")
+			for _, line := range res.Report() {
+				fmt.Println(line)
+			}
+			again, err := workload.RunSLO(*seed, opts)
+			if err != nil {
+				log.Fatalf("vmbench: %v", err)
+			}
+			reproducible := again.Fingerprint == res.Fingerprint
+			fmt.Printf("\nsame-seed rerun byte-identical: %v\n", reproducible)
+			if res.Succeeded != res.Requests || !res.TreeOK() || !res.SLOsHold || !reproducible {
+				log.Fatalf("vmbench: slo run failed its invariants (succeeded %d/%d, tree ok %v, slos hold %v, reproducible %v)",
+					res.Succeeded, res.Requests, res.TreeOK(), res.SLOsHold, reproducible)
+			}
+			if *traceOut != "" {
+				f, err := os.Create(*traceOut)
+				if err != nil {
+					log.Fatalf("vmbench: %v", err)
+				}
+				if err := telemetry.WriteChromeTrace(f, res.Spans); err != nil {
+					log.Fatalf("vmbench: chrome trace export: %v", err)
+				}
+				if err := f.Close(); err != nil {
+					log.Fatalf("vmbench: chrome trace export: %v", err)
+				}
+				fmt.Printf("chrome trace written to %s (open in chrome://tracing or ui.perfetto.dev)\n", *traceOut)
+			}
+		},
 		"ablations": func() {
 			a1, err := workload.RunAblationNoPartialMatch(*seed, 4)
 			if err != nil {
@@ -349,7 +386,7 @@ func main() {
 		},
 	}
 
-	order := []string{"fig4", "fig5", "fig6", "copy", "uml", "cost", "overhead", "anatomy", "trace", "ablations", "extensions", "chaos", "pipeline", "warm", "scrub"}
+	order := []string{"fig4", "fig5", "fig6", "copy", "uml", "cost", "overhead", "anatomy", "trace", "ablations", "extensions", "chaos", "pipeline", "warm", "scrub", "slo"}
 	switch *exp {
 	case "all":
 		for _, name := range order {

@@ -8,6 +8,7 @@
 //	vmctl -shop localhost:7000 query vm-shop-1
 //	vmctl -shop localhost:7000 destroy vm-shop-1
 //	vmctl stats -debug localhost:7070
+//	vmctl trace vm-shop-1 -debug localhost:7070,localhost:7071
 //	vmctl queue -debug localhost:7070,localhost:7071
 package main
 
@@ -26,6 +27,7 @@ import (
 
 	"vmplants/internal/proto"
 	"vmplants/internal/service"
+	"vmplants/internal/telemetry"
 	"vmplants/internal/workload"
 )
 
@@ -59,6 +61,9 @@ func main() {
 		doDot(args[1:])
 	case "stats":
 		doStats(args[1:])
+	case "trace":
+		requireID(args)
+		doTrace(args[1], args[2:])
 	case "queue":
 		doQueue(args[1:])
 	case "warehouse":
@@ -77,7 +82,7 @@ func main() {
 }
 
 func usage() {
-	fmt.Fprintln(os.Stderr, "usage: vmctl [-shop addr] create [-spec file | -example] | query <vmid> | destroy <vmid> | suspend <vmid> | resume <vmid> | publish <vmid> <image> | ping | dot [-spec file] | stats [-debug addr] [-traces n] | queue [-debug addr,addr...] | warehouse [-debug addr,addr...] | scrub [-debug addr,addr...]")
+	fmt.Fprintln(os.Stderr, "usage: vmctl [-shop addr] create [-spec file | -example] | query <vmid> | destroy <vmid> | suspend <vmid> | resume <vmid> | publish <vmid> <image> | ping | dot [-spec file] | stats [-debug addr] [-traces n] | trace <vmid> [-debug addr,addr...] | queue [-debug addr,addr...] | warehouse [-debug addr,addr...] | scrub [-debug addr,addr...]")
 	os.Exit(2)
 }
 
@@ -182,13 +187,131 @@ func doStats(args []string) {
 			fmt.Printf("%-32s %v\n", n, v)
 		}
 	}
+	// Span-ring accounting rides the /debug/traces meta line; limit=0
+	// fetches the header without the span payload.
+	if body, err := httpGet(fmt.Sprintf("http://%s/debug/traces?limit=0", *debugAddr)); err == nil {
+		var meta telemetry.TraceMeta
+		line, _, _ := strings.Cut(string(body), "\n")
+		if json.Unmarshal([]byte(line), &meta) == nil && meta.Meta {
+			fmt.Printf("%-32s %d\n", "tracer.dropped", meta.Dropped)
+		}
+	}
+	if body, err := httpGet(fmt.Sprintf("http://%s/debug/health", *debugAddr)); err == nil {
+		var hr telemetry.HealthReport
+		if json.Unmarshal(body, &hr) == nil {
+			fmt.Printf("\n# slo health at %.3fs virtual: healthy=%v\n", hr.VSecs, hr.Healthy)
+			for _, o := range hr.Objectives {
+				fmt.Printf("%-32s ok=%-5v value=%s bound=%s burn=%s samples=%d\n",
+					o.Name, o.OK, num(o.Value), num(o.Bound), num(o.Burn), o.Samples)
+			}
+		}
+	}
 	if *traces > 0 {
 		body, err := httpGet(fmt.Sprintf("http://%s/debug/traces?limit=%d", *debugAddr, *traces))
 		if err != nil {
 			log.Fatalf("vmctl: %v", err)
 		}
-		fmt.Printf("\n# most recent %d spans (JSONL)\n%s", *traces, body)
+		meta, rest, _ := strings.Cut(string(body), "\n")
+		var tm telemetry.TraceMeta
+		if json.Unmarshal([]byte(meta), &tm) == nil && tm.Meta {
+			fmt.Printf("\n# %d most recent spans (%d evicted from ring, JSONL)\n%s", tm.Spans, tm.Dropped, rest)
+		} else {
+			fmt.Printf("\n# most recent %d spans (JSONL)\n%s", *traces, body)
+		}
 	}
+}
+
+// doTrace reconstructs one creation's end-to-end timeline by merging
+// the /debug/creation/<id> payloads of every listed daemon: the
+// flight-recorder events in virtual-time order, then the span tree
+// rooted at shop.create with the plant-side subtree — joined across the
+// process boundary by the propagated trace context — attached beneath.
+func doTrace(vmid string, args []string) {
+	fs := flag.NewFlagSet("trace", flag.ExitOnError)
+	debugAddrs := fs.String("debug", "localhost:7070,localhost:7071", "comma-separated daemon debug HTTP addresses")
+	fs.Parse(args)
+
+	var (
+		events  []telemetry.FlightRecord
+		spans   []telemetry.SpanRecord
+		dropped uint64
+		seen    = map[uint64]bool{}
+		daemons int
+	)
+	for _, addr := range strings.Split(*debugAddrs, ",") {
+		addr = strings.TrimSpace(addr)
+		if addr == "" {
+			continue
+		}
+		body, err := httpGet(fmt.Sprintf("http://%s/debug/creation/%s", addr, vmid))
+		if err != nil {
+			log.Fatalf("vmctl: %v", err)
+		}
+		var rep telemetry.CreationReport
+		if err := json.Unmarshal(body, &rep); err != nil {
+			log.Fatalf("vmctl: bad /debug/creation response from %s: %v", addr, err)
+		}
+		daemons++
+		events = append(events, rep.Events...)
+		for _, s := range rep.Spans {
+			if !seen[s.ID] {
+				seen[s.ID] = true
+				spans = append(spans, s)
+			}
+		}
+		dropped += rep.Dropped
+	}
+	if len(events) == 0 && len(spans) == 0 {
+		log.Fatalf("vmctl: no trace for %s on %d daemon(s)", vmid, daemons)
+	}
+
+	fmt.Printf("creation %s: %d flight events, %d spans from %d daemon(s)\n",
+		vmid, len(events), len(spans), daemons)
+	if dropped > 0 {
+		fmt.Printf("warning: %d spans evicted from daemon rings; the tree may be incomplete\n", dropped)
+	}
+	sort.Slice(events, func(i, j int) bool {
+		if events[i].VSecs != events[j].VSecs {
+			return events[i].VSecs < events[j].VSecs
+		}
+		return events[i].Seq < events[j].Seq
+	})
+	for _, ev := range events {
+		fmt.Printf("  %10.3fs  %-14s %s\n", ev.VSecs, ev.Kind, ev.Detail)
+	}
+
+	// Parents referencing spans no daemon returned (evicted, or the
+	// daemon was not listed) degrade to roots instead of vanishing.
+	children := map[uint64][]telemetry.SpanRecord{}
+	for _, s := range spans {
+		parent := s.Parent
+		if !seen[parent] {
+			parent = 0
+		}
+		children[parent] = append(children[parent], s)
+	}
+	for _, kids := range children {
+		sort.Slice(kids, func(i, j int) bool {
+			if kids[i].VStart != kids[j].VStart {
+				return kids[i].VStart < kids[j].VStart
+			}
+			return kids[i].ID < kids[j].ID
+		})
+	}
+	fmt.Println("span tree:")
+	var walk func(id uint64, depth int)
+	walk = func(id uint64, depth int) {
+		for _, s := range children[id] {
+			status := ""
+			if s.Err != "" {
+				status = "  ERR: " + s.Err
+			}
+			fmt.Printf("  %10.3fs  %s%s (%.3fs)%s\n",
+				s.VStart, strings.Repeat("  ", depth), s.Name, s.VSecs, status)
+			walk(s.ID, depth+1)
+		}
+	}
+	walk(0, 0)
 }
 
 // doQueue summarizes the creation pipeline's admission state across one

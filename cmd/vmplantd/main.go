@@ -60,6 +60,9 @@ func main() {
 		log.Fatalf("vmplantd: %v", err)
 	}
 	hub := telemetry.New()
+	// Distinct per-instance ID bases keep cross-process span merges
+	// (shop + several plants) free of ID collisions.
+	hub.T().SetIDBase(telemetry.IDBaseForInstance(*name))
 	k := sim.NewKernel()
 	k.SetTelemetry(hub)
 	tb := cluster.NewTestbed(k, 1, cluster.DefaultParams(), *seed)
@@ -98,6 +101,8 @@ func main() {
 		PublishBackThreshold: *pubMin,
 	})
 	runner := service.NewRunner(k)
+	hub.VClock = runner
+	hub.SLO = telemetry.NewSLOEngine(hub.M(), workload.DefaultSLOObjectives()...)
 
 	if *replica {
 		wh.SetReplica(storage.NewVolume("replica",
@@ -126,7 +131,7 @@ func main() {
 		if err != nil {
 			log.Fatalf("vmplantd: %v", err)
 		}
-		log.Printf("debug endpoints on http://%s/metrics, /debug/traces and /debug/warehouse", addr)
+		log.Printf("debug endpoints on http://%s/metrics, /debug/traces, /debug/creation/<id>, /debug/health and /debug/warehouse", addr)
 	}
 
 	if *vnetAddr != "" {

@@ -20,6 +20,7 @@ import (
 	"vmplants/internal/shop"
 	"vmplants/internal/sim"
 	"vmplants/internal/telemetry"
+	"vmplants/internal/workload"
 )
 
 func main() {
@@ -34,6 +35,9 @@ func main() {
 	flag.Parse()
 
 	hub := telemetry.New()
+	// Span IDs minted here must never collide with the plant daemons'
+	// when vmctl merges /debug/creation payloads across processes.
+	hub.T().SetIDBase(telemetry.IDBaseForInstance("shop"))
 	var handles []shop.PlantHandle
 	for _, pair := range strings.Split(*plants, ",") {
 		pair = strings.TrimSpace(pair)
@@ -56,13 +60,15 @@ func main() {
 	k := sim.NewKernel()
 	k.SetTelemetry(hub)
 	runner := service.NewRunner(k)
+	hub.VClock = runner
+	hub.SLO = telemetry.NewSLOEngine(hub.M(), workload.DefaultSLOObjectives()...)
 
 	if *debug != "" {
 		addr, err := hub.ServeDebug(*debug)
 		if err != nil {
 			log.Fatalf("vmshopd: %v", err)
 		}
-		log.Printf("debug endpoints on http://%s/metrics and /debug/traces", addr)
+		log.Printf("debug endpoints on http://%s/metrics, /debug/traces, /debug/creation/<id> and /debug/health", addr)
 	}
 
 	l, err := net.Listen("tcp", *listen)

@@ -138,6 +138,7 @@ type Plant struct {
 	// Telemetry instruments, resolved once in New; all nil (no-op)
 	// when cfg.Telemetry is nil.
 	tel             *telemetry.Hub
+	flight          *telemetry.FlightRecorder
 	mCreates        *telemetry.Counter
 	mCreateFails    *telemetry.Counter
 	mCollects       *telemetry.Counter
@@ -218,6 +219,7 @@ func New(name string, node *cluster.Node, wh *warehouse.Warehouse, cfg Config) *
 		faults: faults,
 
 		tel:             tel,
+		flight:          tel.F(),
 		mCreates:        tel.Counter("plant.creations"),
 		mCreateFails:    tel.Counter("plant.create_failures"),
 		mCollects:       tel.Counter("plant.collections"),
@@ -364,10 +366,15 @@ func (pl *Plant) plan(spec *core.Spec) (match.Ranked, error) {
 // decomposition in virtual time.
 func (pl *Plant) Create(p *sim.Proc, id core.VMID, spec *core.Spec) (_ *classad.Ad, err error) {
 	start := p.Now()
-	sp := pl.tel.T().Start(p, "plant.create").
+	// Joins the creation trace stamped on the proc (by the shop's
+	// in-process call or by the daemon handler from the RPC envelope), or
+	// roots its own when called directly.
+	sp := pl.tel.T().StartCtx(p, "plant.create", p.Trace()).
 		Set("plant", pl.name).
 		Set("vmid", string(id))
+	prevTrace := p.SetTrace(sp.Context())
 	defer func() {
+		p.SetTrace(prevTrace)
 		sp.EndErr(p, err)
 		if err != nil {
 			pl.mCreateFails.Inc()
@@ -437,7 +444,11 @@ func (pl *Plant) Create(p *sim.Proc, id core.VMID, spec *core.Spec) (_ *classad.
 	// golden image, paying only the resume instead of the state copy.
 	// The admission gate bounds in-flight state copies on this host; an
 	// uncontended acquire costs zero virtual time.
+	admitSp := sp.Child(p, "admission")
 	releaseSlot := pl.admitClone(p)
+	admitSp.End(p)
+	pl.flight.Record(p, string(id), telemetry.EvAdmitted, pl.name)
+	pl.flight.Record(p, string(id), telemetry.EvCloneStart, golden.Name)
 	cloneSp := sp.Child(p, "clone").
 		Set("golden", golden.Name).
 		Set("backend", backend.Name())
@@ -474,6 +485,7 @@ func (pl *Plant) Create(p *sim.Proc, id core.VMID, spec *core.Spec) (_ *classad.
 		// full local disk). The partial clone is destroyed and the
 		// error marked transient so the shop fails over.
 		if pl.faults.Should(pl.name, fault.CloneIO, "") {
+			pl.flight.Record(p, string(id), telemetry.EvFaultInjected, "clone-io")
 			vm.Collect(p)
 			releaseSlot()
 			releaseNet()
@@ -486,7 +498,10 @@ func (pl *Plant) Create(p *sim.Proc, id core.VMID, spec *core.Spec) (_ *classad.
 		// image may have been quarantined or repaired underneath it. A
 		// clone that read suspect bytes is destroyed and the transient
 		// error re-bids the creation rather than resuming corrupt state.
+		verifySp := cloneSp.Child(p, "verify").Set("golden", golden.Name)
 		if err := pl.wh.VerifyClone(cctx); err != nil {
+			verifySp.EndErr(p, err)
+			pl.flight.Record(p, string(id), telemetry.EvQuarantineHit, golden.Name)
 			vm.Collect(p)
 			releaseSlot()
 			releaseNet()
@@ -495,10 +510,12 @@ func (pl *Plant) Create(p *sim.Proc, id core.VMID, spec *core.Spec) (_ *classad.
 			cloneSp.EndErr(p, cerr)
 			return nil, cerr
 		}
+		verifySp.End(p)
 		pl.mVerifiedClones.Inc()
 	}
 	pl.recordClone(cloneSp, cloneStart, cloneStats, backend.Name(), hit)
 	cloneSp.End(p)
+	pl.flight.Record(p, string(id), telemetry.EvCloneDone, golden.Name)
 	// The state copy is done: free the slot before configuration, which
 	// contends on guest CPU rather than host disk.
 	releaseSlot()
@@ -512,6 +529,7 @@ func (pl *Plant) Create(p *sim.Proc, id core.VMID, spec *core.Spec) (_ *classad.
 	// configuration. The production line reaps the half-built clone, so
 	// nothing is orphaned; the plant stays down until Recover.
 	if pl.faults.Should(pl.name, fault.PlantCrash, "create") {
+		pl.flight.Record(p, string(id), telemetry.EvFaultInjected, "plant-crash")
 		vm.Collect(p)
 		releaseNet()
 		releaseRef()
@@ -623,6 +641,7 @@ func (pl *Plant) maybePublishBack(p *sim.Proc, sp *telemetry.Span, vm *vmm.VM, g
 			return
 		}
 		pl.mPublishBacks.Inc()
+		pl.flight.Record(bp, string(vm.ID()), telemetry.EvPublished, name)
 	})
 }
 

@@ -58,6 +58,12 @@ type Message struct {
 	XMLName        xml.Name              `xml:"message"`
 	Kind           Kind                  `xml:"kind,attr"`
 	Seq            uint64                `xml:"seq,attr"` // request/response correlation
+	// Trace context: the caller's trace ID and the span the callee's
+	// work should parent under, so causality survives the process
+	// boundary. Zero values mean "untraced" and are omitted from the
+	// wire format, keeping the envelope backward compatible.
+	TraceID    uint64 `xml:"trace,attr,omitempty"`
+	ParentSpan uint64 `xml:"span,attr,omitempty"`
 	Create         *CreateRequest        `xml:"create-request"`
 	Created        *CreateResponse       `xml:"create-response"`
 	BatchCreate    *BatchCreateRequest   `xml:"batch-create-request"`

@@ -92,6 +92,7 @@ type Client struct {
 	mErrors  *telemetry.Counter
 	mRetries *telemetry.Counter
 	hSecs    *telemetry.Histogram
+	tracer   *telemetry.Tracer
 }
 
 // Dial connects to a service endpoint.
@@ -116,13 +117,16 @@ func NewClient(conn net.Conn) *Client {
 }
 
 // SetTelemetry wires the client's RPC instruments: call and error
-// counters ("proto.rpc_calls", "proto.rpc_errors") and the wall-clock
-// round-trip histogram ("proto.rpc_secs"). Passing nil detaches them.
+// counters ("proto.rpc_calls", "proto.rpc_errors"), the wall-clock
+// round-trip histogram ("proto.rpc_secs"), and the tracer per-call
+// "rpc.<kind>" spans (with one "rpc.attempt" child per try) are
+// recorded into. Passing nil detaches them.
 func (c *Client) SetTelemetry(h *telemetry.Hub) {
 	c.mCalls = h.Counter("proto.rpc_calls")
 	c.mErrors = h.Counter("proto.rpc_errors")
 	c.mRetries = h.Counter("proto.rpc_retries")
 	c.hSecs = h.Histogram("proto.rpc_secs")
+	c.tracer = h.T()
 }
 
 // RemoteAddr reports the peer's address ("" when unknown).
@@ -156,27 +160,69 @@ func (c *Client) call(m *Message) (*Message, error) {
 		c.mCalls.Inc()
 		c.hSecs.Observe(time.Since(start).Seconds())
 	}()
-	resp, err := c.attempt(m)
+	// The call span parents under the trace context stamped on the
+	// envelope (if any), so a wall-clock RPC attaches to the virtual-time
+	// creation tree that issued it. Guarded on the tracer so the
+	// disabled path stays allocation-free.
+	var sp *telemetry.Span
+	if c.tracer != nil {
+		sp = c.tracer.StartCtx(nil, "rpc."+string(m.Kind),
+			telemetry.SpanContext{TraceID: m.TraceID, Span: m.ParentSpan}).
+			Set("addr", c.addrLabel())
+	}
+	resp, err := c.tracedAttempt(sp, m, 1, 0, false)
 	if err == nil || !c.shouldRetry(m.Kind, err) {
+		sp.EndErr(nil, err)
 		return resp, err
 	}
 	for retry := 1; retry < c.Retry.Attempts; retry++ {
 		c.mRetries.Inc()
-		c.pause(c.Retry.backoffFor(retry, c.jitterRNG()))
+		backoff := c.Retry.backoffFor(retry, c.jitterRNG())
+		c.pause(backoff)
+		redialed := false
 		if c.redial != nil {
 			conn, derr := c.redial()
 			if derr != nil {
 				err = fmt.Errorf("redial: %w", derr)
+				if sp != nil {
+					sp.Child(nil, "rpc.attempt").
+						SetInt("attempt", int64(retry+1)).
+						Set("redial", "failed").
+						EndErr(nil, err)
+				}
 				continue
 			}
 			c.conn.Close()
 			c.conn = conn
+			redialed = true
 		}
-		resp, err = c.attempt(m)
+		resp, err = c.tracedAttempt(sp, m, retry+1, backoff, redialed)
 		if err == nil || !c.shouldRetry(m.Kind, err) {
+			sp.EndErr(nil, err)
 			return resp, err
 		}
 	}
+	sp.EndErr(nil, err)
+	return resp, err
+}
+
+// tracedAttempt runs one attempt under a per-attempt child span so a
+// retried RPC decomposes into its tries — attempt number, the backoff
+// that preceded it, and whether the connection was re-dialed — instead
+// of reading as one opaque call.
+func (c *Client) tracedAttempt(sp *telemetry.Span, m *Message, n int, backoff time.Duration, redialed bool) (*Message, error) {
+	var at *telemetry.Span
+	if sp != nil {
+		at = sp.Child(nil, "rpc.attempt").SetInt("attempt", int64(n))
+		if backoff > 0 {
+			at.Set("backoff", backoff.String())
+		}
+		if redialed {
+			at.Set("redial", "true")
+		}
+	}
+	resp, err := c.attempt(m)
+	at.EndErr(nil, err)
 	return resp, err
 }
 

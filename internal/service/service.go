@@ -58,6 +58,22 @@ func (r *Runner) Now() time.Duration {
 	return r.k.Now()
 }
 
+// DoCtx is Do with a trace context installed on the spawned process
+// before fn runs, so spans the server-side work starts parent under the
+// remote caller's trace (the context arrives on the request envelope).
+func (r *Runner) DoCtx(name string, sc telemetry.SpanContext, fn func(p *sim.Proc)) error {
+	return r.Do(name, func(p *sim.Proc) {
+		p.SetTrace(sc)
+		fn(p)
+	})
+}
+
+// traceOf extracts the trace context a request envelope carries (the
+// zero context when the caller is untraced).
+func traceOf(req *proto.Message) telemetry.SpanContext {
+	return telemetry.SpanContext{TraceID: req.TraceID, Span: req.ParentSpan}
+}
+
 // NewPlantHandler returns the proto.Handler serving a plant's four
 // operations (Figure 2: Create, Collect, Query, Estimate cost).
 func NewPlantHandler(r *Runner, pl *plant.Plant) proto.Handler {
@@ -67,6 +83,7 @@ func NewPlantHandler(r *Runner, pl *plant.Plant) proto.Handler {
 		if pl.Down() {
 			return proto.Errorf(req.Seq, proto.CodeUnavailable, "plant %s: daemon not running", pl.Name())
 		}
+		sc := traceOf(req)
 		switch req.Kind {
 		case proto.KindPingRequest:
 			return &proto.Message{Kind: proto.KindPingResponse,
@@ -87,7 +104,7 @@ func NewPlantHandler(r *Runner, pl *plant.Plant) proto.Handler {
 				return proto.Errorf(req.Seq, proto.CodeBadRequest, "%v", err)
 			}
 			var c core.Cost
-			if err := r.Do("estimate", func(p *sim.Proc) { c = pl.Estimate(p, spec) }); err != nil {
+			if err := r.DoCtx("estimate", sc, func(p *sim.Proc) { c = pl.Estimate(p, spec) }); err != nil {
 				return proto.Errorf(req.Seq, proto.CodeInternal, "%v", err)
 			}
 			return &proto.Message{Kind: proto.KindEstimateResponse,
@@ -104,7 +121,7 @@ func NewPlantHandler(r *Runner, pl *plant.Plant) proto.Handler {
 			}
 			var ad *classad.Ad
 			var cerr error
-			if err := r.Do("create", func(p *sim.Proc) { ad, cerr = pl.Create(p, id, spec) }); err != nil {
+			if err := r.DoCtx("create", sc, func(p *sim.Proc) { ad, cerr = pl.Create(p, id, spec) }); err != nil {
 				return proto.Errorf(req.Seq, proto.CodeInternal, "%v", err)
 			}
 			if cerr != nil {
@@ -116,7 +133,7 @@ func NewPlantHandler(r *Runner, pl *plant.Plant) proto.Handler {
 		case proto.KindQueryRequest:
 			var ad *classad.Ad
 			var found bool
-			if err := r.Do("query", func(p *sim.Proc) { ad, found = pl.Query(p, core.VMID(req.Query.VMID)) }); err != nil {
+			if err := r.DoCtx("query", sc, func(p *sim.Proc) { ad, found = pl.Query(p, core.VMID(req.Query.VMID)) }); err != nil {
 				return proto.Errorf(req.Seq, proto.CodeInternal, "%v", err)
 			}
 			return &proto.Message{Kind: proto.KindQueryResponse,
@@ -125,7 +142,7 @@ func NewPlantHandler(r *Runner, pl *plant.Plant) proto.Handler {
 		case proto.KindDestroyRequest:
 			var derr error
 			id := core.VMID(req.Destroy.VMID)
-			if err := r.Do("destroy", func(p *sim.Proc) { derr = pl.Collect(p, id) }); err != nil {
+			if err := r.DoCtx("destroy", sc, func(p *sim.Proc) { derr = pl.Collect(p, id) }); err != nil {
 				return proto.Errorf(req.Seq, proto.CodeInternal, "%v", err)
 			}
 			destroyed := derr == nil
@@ -135,7 +152,7 @@ func NewPlantHandler(r *Runner, pl *plant.Plant) proto.Handler {
 		case proto.KindPublishRequest:
 			var perr error
 			id := core.VMID(req.Publish.VMID)
-			if err := r.Do("publish", func(p *sim.Proc) { perr = pl.PublishImage(p, id, req.Publish.Image) }); err != nil {
+			if err := r.DoCtx("publish", sc, func(p *sim.Proc) { perr = pl.PublishImage(p, id, req.Publish.Image) }); err != nil {
 				return proto.Errorf(req.Seq, proto.CodeInternal, "%v", err)
 			}
 			if perr != nil {
@@ -148,7 +165,7 @@ func NewPlantHandler(r *Runner, pl *plant.Plant) proto.Handler {
 			var lerr error
 			id := core.VMID(req.Lifecycle.VMID)
 			state := "suspended"
-			if err := r.Do("lifecycle", func(p *sim.Proc) {
+			if err := r.DoCtx("lifecycle", sc, func(p *sim.Proc) {
 				switch req.Lifecycle.Op {
 				case proto.LifecycleSuspend:
 					lerr = pl.SuspendVM(p, id)
@@ -189,7 +206,7 @@ func NewPlantHandler(r *Runner, pl *plant.Plant) proto.Handler {
 				return proto.Errorf(req.Seq, proto.CodeBadRequest, "%v", err)
 			}
 			var perr error
-			if err := r.Do("publish-image", func(p *sim.Proc) {
+			if err := r.DoCtx("publish-image", sc, func(p *sim.Proc) {
 				// The derived state streams to the warehouse volume over
 				// the daemon host's NFS path before registration.
 				pl.Node().Warehouse().Charge(p, im.CheckpointBytes(), pl.Node().Jitter())
@@ -229,7 +246,14 @@ func (rp *RemotePlant) Name() string { return rp.PlantName }
 // configured otherwise.
 var DefaultRetry = proto.RetryPolicy{Attempts: 3, BaseBackoff: 50 * time.Millisecond, MaxBackoff: time.Second, Jitter: 0.2}
 
-func (rp *RemotePlant) call(m *proto.Message) (*proto.Message, error) {
+// call dials the remote daemon and performs one RPC. p, when non-nil,
+// supplies the trace context stamped onto the envelope so the daemon's
+// server-side spans join the caller's creation tree.
+func (rp *RemotePlant) call(p *sim.Proc, m *proto.Message) (*proto.Message, error) {
+	if p != nil {
+		sc := p.Trace()
+		m.TraceID, m.ParentSpan = sc.TraceID, sc.Span
+	}
 	timeout := rp.Timeout
 	if timeout == 0 {
 		timeout = 30 * time.Second
@@ -259,7 +283,7 @@ func (rp *RemotePlant) call(m *proto.Message) (*proto.Message, error) {
 
 // List implements shop.PlantHandle.
 func (rp *RemotePlant) List(p *sim.Proc) ([]core.VMID, error) {
-	resp, err := rp.call(&proto.Message{Kind: proto.KindListRequest, List: &proto.ListRequest{}})
+	resp, err := rp.call(p, &proto.Message{Kind: proto.KindListRequest, List: &proto.ListRequest{}})
 	if err != nil {
 		return nil, err
 	}
@@ -272,13 +296,13 @@ func (rp *RemotePlant) List(p *sim.Proc) ([]core.VMID, error) {
 
 // Ping probes the remote daemon's liveness.
 func (rp *RemotePlant) Ping() error {
-	_, err := rp.call(&proto.Message{Kind: proto.KindPingRequest, Ping: &proto.PingRequest{}})
+	_, err := rp.call(nil, &proto.Message{Kind: proto.KindPingRequest, Ping: &proto.PingRequest{}})
 	return err
 }
 
 // Estimate implements shop.PlantHandle.
 func (rp *RemotePlant) Estimate(p *sim.Proc, spec *core.Spec) (core.Cost, *classad.Ad, error) {
-	resp, err := rp.call(&proto.Message{Kind: proto.KindEstimateRequest,
+	resp, err := rp.call(p, &proto.Message{Kind: proto.KindEstimateRequest,
 		Estimate: &proto.EstimateRequest{Create: proto.FromSpec(spec, "")}})
 	if err != nil {
 		return core.Infeasible, nil, err
@@ -290,7 +314,7 @@ func (rp *RemotePlant) Estimate(p *sim.Proc, spec *core.Spec) (core.Cost, *class
 func (rp *RemotePlant) Create(p *sim.Proc, id core.VMID, spec *core.Spec) (*classad.Ad, error) {
 	cr := proto.FromSpec(spec, "")
 	cr.VMID = string(id)
-	resp, err := rp.call(&proto.Message{Kind: proto.KindCreateRequest, Create: cr})
+	resp, err := rp.call(p, &proto.Message{Kind: proto.KindCreateRequest, Create: cr})
 	if err != nil {
 		return nil, err
 	}
@@ -299,7 +323,7 @@ func (rp *RemotePlant) Create(p *sim.Proc, id core.VMID, spec *core.Spec) (*clas
 
 // Query implements shop.PlantHandle.
 func (rp *RemotePlant) Query(p *sim.Proc, id core.VMID) (*classad.Ad, bool, error) {
-	resp, err := rp.call(&proto.Message{Kind: proto.KindQueryRequest,
+	resp, err := rp.call(p, &proto.Message{Kind: proto.KindQueryRequest,
 		Query: &proto.QueryRequest{VMID: string(id)}})
 	if err != nil {
 		return nil, false, err
@@ -309,7 +333,7 @@ func (rp *RemotePlant) Query(p *sim.Proc, id core.VMID) (*classad.Ad, bool, erro
 
 // Collect implements shop.PlantHandle.
 func (rp *RemotePlant) Collect(p *sim.Proc, id core.VMID) (bool, error) {
-	resp, err := rp.call(&proto.Message{Kind: proto.KindDestroyRequest,
+	resp, err := rp.call(p, &proto.Message{Kind: proto.KindDestroyRequest,
 		Destroy: &proto.DestroyRequest{VMID: string(id)}})
 	if err != nil {
 		return false, err
@@ -319,7 +343,7 @@ func (rp *RemotePlant) Collect(p *sim.Proc, id core.VMID) (bool, error) {
 
 // Publish implements shop.PlantHandle.
 func (rp *RemotePlant) Publish(p *sim.Proc, id core.VMID, image string) error {
-	_, err := rp.call(&proto.Message{Kind: proto.KindPublishRequest,
+	_, err := rp.call(p, &proto.Message{Kind: proto.KindPublishRequest,
 		Publish: &proto.PublishRequest{VMID: string(id), Image: image}})
 	return err
 }
@@ -329,7 +353,7 @@ func (rp *RemotePlant) Publish(p *sim.Proc, id core.VMID, image string) error {
 // warehouse — the learning loop's publish-back RPC. It returns whether
 // the warehouse accepted the image and, when refused, why.
 func (rp *RemotePlant) PublishDerived(image, parent, descriptorXML string) (bool, string, error) {
-	resp, err := rp.call(&proto.Message{Kind: proto.KindPublishImageRequest,
+	resp, err := rp.call(nil, &proto.Message{Kind: proto.KindPublishImageRequest,
 		PublishImage: &proto.PublishImageRequest{Image: image, Parent: parent, Descriptor: descriptorXML}})
 	if err != nil {
 		return false, "", err
@@ -339,7 +363,7 @@ func (rp *RemotePlant) PublishDerived(image, parent, descriptorXML string) (bool
 
 // Lifecycle implements shop.PlantHandle.
 func (rp *RemotePlant) Lifecycle(p *sim.Proc, id core.VMID, op string) error {
-	_, err := rp.call(&proto.Message{Kind: proto.KindLifecycleRequest,
+	_, err := rp.call(p, &proto.Message{Kind: proto.KindLifecycleRequest,
 		Lifecycle: &proto.LifecycleRequest{VMID: string(id), Op: op}})
 	return err
 }
@@ -365,6 +389,7 @@ func DiscoverPlants(reg *registry.Registry, timeout time.Duration) []shop.PlantH
 // shop (create without vmid, query, destroy, publish).
 func NewShopHandler(r *Runner, s *shop.Shop) proto.Handler {
 	return func(req *proto.Message) *proto.Message {
+		sc := traceOf(req)
 		switch req.Kind {
 		case proto.KindPingRequest:
 			return &proto.Message{Kind: proto.KindPingResponse,
@@ -378,7 +403,7 @@ func NewShopHandler(r *Runner, s *shop.Shop) proto.Handler {
 			var id core.VMID
 			var ad *classad.Ad
 			var cerr error
-			if err := r.Do("shop-create", func(p *sim.Proc) { id, ad, cerr = s.Create(p, spec) }); err != nil {
+			if err := r.DoCtx("shop-create", sc, func(p *sim.Proc) { id, ad, cerr = s.Create(p, spec) }); err != nil {
 				return proto.Errorf(req.Seq, proto.CodeInternal, "%v", err)
 			}
 			if cerr != nil {
@@ -397,7 +422,7 @@ func NewShopHandler(r *Runner, s *shop.Shop) proto.Handler {
 				specs[i] = spec
 			}
 			var results []shop.BatchResult
-			if err := r.Do("shop-batch-create", func(p *sim.Proc) { results = s.CreateMany(p, specs) }); err != nil {
+			if err := r.DoCtx("shop-batch-create", sc, func(p *sim.Proc) { results = s.CreateMany(p, specs) }); err != nil {
 				return proto.Errorf(req.Seq, proto.CodeInternal, "%v", err)
 			}
 			resp := &proto.BatchCreateResponse{Items: make([]proto.BatchCreateItem, len(results))}
@@ -413,7 +438,7 @@ func NewShopHandler(r *Runner, s *shop.Shop) proto.Handler {
 		case proto.KindQueryRequest:
 			var ad *classad.Ad
 			var qerr error
-			if err := r.Do("shop-query", func(p *sim.Proc) { ad, qerr = s.Query(p, core.VMID(req.Query.VMID)) }); err != nil {
+			if err := r.DoCtx("shop-query", sc, func(p *sim.Proc) { ad, qerr = s.Query(p, core.VMID(req.Query.VMID)) }); err != nil {
 				return proto.Errorf(req.Seq, proto.CodeInternal, "%v", err)
 			}
 			if qerr != nil {
@@ -424,7 +449,7 @@ func NewShopHandler(r *Runner, s *shop.Shop) proto.Handler {
 
 		case proto.KindDestroyRequest:
 			var derr error
-			if err := r.Do("shop-destroy", func(p *sim.Proc) { derr = s.Destroy(p, core.VMID(req.Destroy.VMID)) }); err != nil {
+			if err := r.DoCtx("shop-destroy", sc, func(p *sim.Proc) { derr = s.Destroy(p, core.VMID(req.Destroy.VMID)) }); err != nil {
 				return proto.Errorf(req.Seq, proto.CodeInternal, "%v", err)
 			}
 			if derr != nil {
@@ -435,7 +460,7 @@ func NewShopHandler(r *Runner, s *shop.Shop) proto.Handler {
 
 		case proto.KindPublishRequest:
 			var perr error
-			if err := r.Do("shop-publish", func(p *sim.Proc) {
+			if err := r.DoCtx("shop-publish", sc, func(p *sim.Proc) {
 				perr = s.Publish(p, core.VMID(req.Publish.VMID), req.Publish.Image)
 			}); err != nil {
 				return proto.Errorf(req.Seq, proto.CodeInternal, "%v", err)
@@ -450,7 +475,7 @@ func NewShopHandler(r *Runner, s *shop.Shop) proto.Handler {
 			var lerr error
 			id := core.VMID(req.Lifecycle.VMID)
 			state := "suspended"
-			if err := r.Do("shop-lifecycle", func(p *sim.Proc) {
+			if err := r.DoCtx("shop-lifecycle", sc, func(p *sim.Proc) {
 				switch req.Lifecycle.Op {
 				case proto.LifecycleSuspend:
 					lerr = s.Suspend(p, id)

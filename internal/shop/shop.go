@@ -65,6 +65,7 @@ type Shop struct {
 
 	// Telemetry instruments (nil-safe no-ops when unset).
 	tel             *telemetry.Hub
+	flight          *telemetry.FlightRecorder
 	mCreates        *telemetry.Counter
 	mCreateFails    *telemetry.Counter
 	mBidRounds      *telemetry.Counter
@@ -127,6 +128,7 @@ func (s *Shop) logBid(rec BidRecord) {
 // "shop.create_secs"). Passing nil detaches them.
 func (s *Shop) SetTelemetry(h *telemetry.Hub) {
 	s.tel = h
+	s.flight = h.F()
 	s.mCreates = h.Counter("shop.creations")
 	s.mCreateFails = h.Counter("shop.create_failures")
 	s.mBidRounds = h.Counter("shop.bid_rounds")
@@ -157,10 +159,17 @@ func (s *Shop) Create(p *sim.Proc, spec *core.Spec) (_ core.VMID, _ *classad.Ad,
 	}
 	id := s.mintID()
 	start := p.Now()
-	sp := s.tel.T().Start(p, "shop.create").
+	// The creation span roots a new trace — or joins the caller's (e.g.
+	// a shop-daemon request that arrived with a trace context stamped on
+	// the proc). Everything the creation touches downstream — bids,
+	// plant dispatch, RPCs — parents under it via the proc's context.
+	sp := s.tel.T().StartCtx(p, "shop.create", p.Trace()).
 		Set("shop", s.name).
 		Set("vmid", string(id))
+	prevTrace := p.SetTrace(sp.Context())
+	s.flight.Record(p, string(id), telemetry.EvSubmitted, spec.Name)
 	defer func() {
+		p.SetTrace(prevTrace)
 		sp.EndErr(p, err)
 		if err != nil {
 			s.mCreateFails.Inc()
@@ -212,8 +221,10 @@ func (s *Shop) Create(p *sim.Proc, spec *core.Spec) (_ core.VMID, _ *classad.Ad,
 			if !first {
 				s.mFailovers.Inc()
 				sp.Set("failover", winner.Name())
+				s.flight.Record(p, string(id), telemetry.EvRetried, winner.Name())
 			}
 			first = false
+			s.flight.Record(p, string(id), telemetry.EvBidWon, winner.Name())
 			retire := s.noteDispatch(winner.Name())
 			ad, err := winner.Create(p, id, spec)
 			retire()
@@ -226,6 +237,7 @@ func (s *Shop) Create(p *sim.Proc, spec *core.Spec) (_ core.VMID, _ *classad.Ad,
 					s.cache[id] = ad.Clone()
 				}
 				sp.Set("winner", winner.Name())
+				s.flight.Record(p, string(id), telemetry.EvCreated, winner.Name())
 				return id, ad, nil
 			}
 			if !errors.Is(err, ErrPlantDown) && !errors.Is(err, core.ErrTransient) {
@@ -311,10 +323,12 @@ func (s *Shop) collectBids(p *sim.Proc, round []PlantHandle, spec *core.Spec, re
 	}
 	var answers []answer
 	if s.BidTimeout <= 0 {
+		prev := p.SetTrace(bidSp.Context())
 		for _, h := range round {
 			c, plantAd, err := h.Estimate(p, spec)
 			answers = append(answers, answer{h, c, plantAd, err})
 		}
+		p.SetTrace(prev)
 	} else {
 		st := struct {
 			open    bool
@@ -322,9 +336,15 @@ func (s *Shop) collectBids(p *sim.Proc, round []PlantHandle, spec *core.Spec, re
 			got     []answer
 		}{open: true, pending: len(round)}
 		client := p
+		// Captured outside the closures: bid procs are separate processes,
+		// so each installs the bid span's context on itself before asking,
+		// keeping estimate spans (and estimate RPC envelopes) parented
+		// under this round rather than orphaned.
+		bidCtx := bidSp.Context()
 		for _, h := range round {
 			h := h
 			p.Kernel().Spawn("bid/"+h.Name(), func(bp *sim.Proc) {
+				bp.SetTrace(bidCtx)
 				c, plantAd, err := h.Estimate(bp, spec)
 				if !st.open {
 					return // the round closed without us; bid discarded

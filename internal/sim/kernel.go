@@ -133,6 +133,27 @@ type Proc struct {
 	// interrupted is set when another process wakes this one out of a
 	// Wait before its deadline.
 	interrupted bool
+
+	// trace is the process's current trace context — which span new
+	// work on this proc should parent under. Only the proc's own
+	// goroutine touches it (the kernel serializes processes), so no
+	// lock is needed.
+	trace telemetry.SpanContext
+}
+
+// Trace returns the process's current trace context (zero when no
+// trace is active).
+func (p *Proc) Trace() telemetry.SpanContext { return p.trace }
+
+// SetTrace installs a trace context on the process and returns the
+// previous one, so a caller scoping a span can restore it:
+//
+//	prev := p.SetTrace(sp.Context())
+//	defer p.SetTrace(prev)
+func (p *Proc) SetTrace(sc telemetry.SpanContext) telemetry.SpanContext {
+	prev := p.trace
+	p.trace = sc
+	return prev
 }
 
 // ID returns the process's unique id within its kernel.

@@ -57,6 +57,17 @@ func Summarize(xs []float64) Summary {
 	return s
 }
 
+// Quantile interpolates the q-quantile (0..1) of an unsorted sample
+// without modifying it. An empty sample yields 0.
+func Quantile(xs []float64, q float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	sorted := append([]float64(nil), xs...)
+	sort.Float64s(sorted)
+	return percentile(sorted, q)
+}
+
 // percentile interpolates the p-quantile of a sorted sample.
 func percentile(sorted []float64, p float64) float64 {
 	if len(sorted) == 0 {

@@ -6,7 +6,9 @@ import (
 	"io"
 	"net"
 	"net/http"
+	"sort"
 	"strconv"
+	"strings"
 	"time"
 )
 
@@ -15,6 +17,7 @@ import (
 type SpanRecord struct {
 	ID     uint64            `json:"id"`
 	Parent uint64            `json:"parent,omitempty"`
+	Trace  uint64            `json:"trace,omitempty"`
 	Name   string            `json:"name"`
 	VStart float64           `json:"vstart"` // virtual start, seconds
 	VSecs  float64           `json:"vsecs"`  // virtual duration, seconds
@@ -29,6 +32,7 @@ func (s Span) Record() SpanRecord {
 	r := SpanRecord{
 		ID:     s.ID,
 		Parent: s.Parent,
+		Trace:  s.TraceID,
 		Name:   s.Name,
 		VStart: s.VStart.Seconds(),
 		VSecs:  s.Virtual().Seconds(),
@@ -59,11 +63,79 @@ func (t *Tracer) WriteJSONL(w io.Writer) error {
 	return nil
 }
 
+// TraceMeta is the header line of /debug/traces: ring accounting that
+// tells a remote consumer whether the span set it is about to read is
+// complete.
+type TraceMeta struct {
+	Meta    bool   `json:"meta"`
+	Spans   int    `json:"spans"`   // spans the response carries
+	Dropped uint64 `json:"dropped"` // spans evicted from the ring
+}
+
+// CreationReport is the JSON document /debug/creation/<id> serves: the
+// flight-recorder timeline for one creation plus every span of the
+// traces that mention it.
+type CreationReport struct {
+	ID      string         `json:"id"`
+	Events  []FlightRecord `json:"events"`
+	Spans   []SpanRecord   `json:"spans"`
+	Dropped uint64         `json:"dropped"` // span-ring evictions (completeness caveat)
+}
+
+// HealthReport is the JSON document /debug/health serves.
+type HealthReport struct {
+	VSecs      float64           `json:"vsecs"`
+	Healthy    bool              `json:"healthy"`
+	Objectives []ObjectiveStatus `json:"objectives"`
+}
+
+// CreationReportFor assembles the report for one creation/VM ID: its
+// flight events, plus all spans of every trace containing a span whose
+// "vmid" attribute matches.
+func (h *Hub) CreationReportFor(id string) CreationReport {
+	rep := CreationReport{ID: id, Events: []FlightRecord{}, Spans: []SpanRecord{}, Dropped: h.T().Dropped()}
+	for _, ev := range h.F().Events(id) {
+		rep.Events = append(rep.Events, ev.Record())
+	}
+	spans := h.T().Spans()
+	traces := make(map[uint64]bool)
+	for _, s := range spans {
+		if s.TraceID != 0 && s.Attr("vmid") == id {
+			traces[s.TraceID] = true
+		}
+	}
+	for _, s := range spans {
+		if traces[s.TraceID] {
+			rep.Spans = append(rep.Spans, s.Record())
+		}
+	}
+	return rep
+}
+
+// HealthReportAt evaluates the hub's SLO engine at vnow.
+func (h *Hub) HealthReportAt(vnow time.Duration) HealthReport {
+	rep := HealthReport{VSecs: vnow.Seconds(), Healthy: true, Objectives: []ObjectiveStatus{}}
+	if h == nil || h.SLO == nil {
+		return rep
+	}
+	for _, st := range h.SLO.Evaluate(vnow) {
+		rep.Objectives = append(rep.Objectives, st)
+		if !st.OK {
+			rep.Healthy = false
+		}
+	}
+	return rep
+}
+
 // HTTPHandler serves the hub's debug endpoints:
 //
 //	GET /metrics              expvar-compatible JSON of every instrument
-//	GET /debug/traces         finished spans as JSONL (?limit=N for the
+//	GET /debug/traces         a meta line (span/dropped counts), then
+//	                          finished spans as JSONL (?limit=N for the
 //	                          most recent N, ?name=prefix to filter)
+//	GET /debug/creation/<id>  one creation's flight-recorder timeline
+//	                          and span trees
+//	GET /debug/health         SLO evaluation at current virtual time
 func (h *Hub) HTTPHandler() http.Handler {
 	return h.DebugMux()
 }
@@ -92,20 +164,108 @@ func (h *Hub) DebugMux() *http.ServeMux {
 			}
 		}
 		name := req.URL.Query().Get("name")
-		w.Header().Set("Content-Type", "application/jsonl")
-		enc := json.NewEncoder(w)
+		var out []SpanRecord
 		for _, s := range spans {
 			if name != "" && !hasPrefix(s.Name, name) {
 				continue
 			}
-			enc.Encode(s.Record())
+			out = append(out, s.Record())
 		}
+		w.Header().Set("Content-Type", "application/jsonl")
+		enc := json.NewEncoder(w)
+		enc.Encode(TraceMeta{Meta: true, Spans: len(out), Dropped: h.T().Dropped()})
+		for _, r := range out {
+			enc.Encode(r)
+		}
+	})
+	mux.HandleFunc("/debug/creation/", func(w http.ResponseWriter, req *http.Request) {
+		id := strings.TrimPrefix(req.URL.Path, "/debug/creation/")
+		if id == "" {
+			http.Error(w, "usage: /debug/creation/<vmid>", http.StatusBadRequest)
+			return
+		}
+		w.Header().Set("Content-Type", "application/json")
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		enc.Encode(h.CreationReportFor(id))
+	})
+	mux.HandleFunc("/debug/health", func(w http.ResponseWriter, _ *http.Request) {
+		var vnow time.Duration
+		if h != nil && h.VClock != nil {
+			vnow = h.VClock.Now()
+		}
+		w.Header().Set("Content-Type", "application/json")
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		enc.Encode(h.HealthReportAt(vnow))
 	})
 	return mux
 }
 
 func hasPrefix(s, prefix string) bool {
 	return len(s) >= len(prefix) && s[:len(prefix)] == prefix
+}
+
+// chromeEvent is one entry of the Chrome trace-event format ("ph":"X"
+// complete events), loadable as-is by chrome://tracing and Perfetto.
+type chromeEvent struct {
+	Name string            `json:"name"`
+	Cat  string            `json:"cat"`
+	Ph   string            `json:"ph"`
+	Ts   int64             `json:"ts"`  // virtual start, microseconds
+	Dur  int64             `json:"dur"` // virtual duration, microseconds
+	Pid  int               `json:"pid"`
+	Tid  uint64            `json:"tid"` // trace ID: one creation per row
+	Args map[string]string `json:"args,omitempty"`
+}
+
+// WriteChromeTrace renders spans as a Chrome trace-event JSON document.
+// The timeline is virtual time (microseconds) and rows (tid) are trace
+// IDs, so each creation's tree reads as one row. Wall times are
+// deliberately omitted: the export of a same-seed rerun is
+// byte-identical.
+func WriteChromeTrace(w io.Writer, spans []Span) error {
+	evs := make([]chromeEvent, 0, len(spans))
+	for _, s := range spans {
+		ev := chromeEvent{
+			Name: s.Name,
+			Cat:  "vmplants",
+			Ph:   "X",
+			Ts:   s.VStart.Microseconds(),
+			Dur:  s.Virtual().Microseconds(),
+			Pid:  1,
+			Tid:  s.TraceID,
+		}
+		args := map[string]string{
+			"id":     strconv.FormatUint(s.ID, 10),
+			"parent": strconv.FormatUint(s.Parent, 10),
+		}
+		for _, a := range s.Attrs {
+			args[a.Key] = a.Value
+		}
+		if s.Err != "" {
+			args["err"] = s.Err
+		}
+		ev.Args = args
+		evs = append(evs, ev)
+	}
+	// Stable order: by (ts, tid, id) so the document is deterministic
+	// regardless of span end order.
+	sort.Slice(evs, func(i, j int) bool {
+		if evs[i].Ts != evs[j].Ts {
+			return evs[i].Ts < evs[j].Ts
+		}
+		if evs[i].Tid != evs[j].Tid {
+			return evs[i].Tid < evs[j].Tid
+		}
+		return evs[i].Args["id"] < evs[j].Args["id"]
+	})
+	doc := struct {
+		TraceEvents []chromeEvent `json:"traceEvents"`
+	}{TraceEvents: evs}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", " ")
+	return enc.Encode(doc)
 }
 
 // ServeDebug starts the hub's debug HTTP server on addr in a background

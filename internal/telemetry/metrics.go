@@ -113,6 +113,54 @@ func (h *Histogram) Snapshot() stats.Summary {
 	return stats.Summarize(h.samples)
 }
 
+// Reset discards the retained window and zeroes the running count and
+// sum. Experiment setup calls this so a sliding-window snapshot never
+// mixes samples across runs sharing one hub.
+func (h *Histogram) Reset() {
+	if h == nil {
+		return
+	}
+	h.mu.Lock()
+	h.samples = h.samples[:0]
+	h.next = 0
+	h.count = 0
+	h.sum = 0
+	h.mu.Unlock()
+}
+
+// Quantile reports the q-quantile (0..1) of the retained sample window
+// (0 when empty).
+func (h *Histogram) Quantile(q float64) float64 {
+	if h == nil {
+		return 0
+	}
+	h.mu.Lock()
+	samples := append([]float64(nil), h.samples...)
+	h.mu.Unlock()
+	return stats.Quantile(samples, q)
+}
+
+// FractionAbove reports the fraction of retained samples strictly
+// greater than x (0 when the window is empty) — the "bad event"
+// fraction SLO burn accounting needs.
+func (h *Histogram) FractionAbove(x float64) float64 {
+	if h == nil {
+		return 0
+	}
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if len(h.samples) == 0 {
+		return 0
+	}
+	n := 0
+	for _, v := range h.samples {
+		if v > x {
+			n++
+		}
+	}
+	return float64(n) / float64(len(h.samples))
+}
+
 // Count reports total observations, including any that slid out of the
 // retention window.
 func (h *Histogram) Count() int64 {
@@ -197,6 +245,23 @@ func (r *Registry) Histogram(name string) *Histogram {
 		r.hists[name] = h
 	}
 	return h
+}
+
+// ResetHistograms resets every histogram in the registry; counters and
+// gauges keep their values (they are cumulative by contract).
+func (r *Registry) ResetHistograms() {
+	if r == nil {
+		return
+	}
+	r.mu.Lock()
+	hists := make([]*Histogram, 0, len(r.hists))
+	for _, h := range r.hists {
+		hists = append(hists, h)
+	}
+	r.mu.Unlock()
+	for _, h := range hists {
+		h.Reset()
+	}
 }
 
 // Snapshot renders every instrument into a JSON-ready map: counters and

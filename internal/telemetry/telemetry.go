@@ -12,6 +12,7 @@
 package telemetry
 
 import (
+	"hash/fnv"
 	"strconv"
 	"sync"
 	"time"
@@ -34,9 +35,10 @@ type Attr struct {
 // and wall-clock time. A span is mutable until End; after End it is
 // published to the tracer and must not be modified.
 type Span struct {
-	ID     uint64
-	Parent uint64 // 0 for root spans
-	Name   string
+	ID      uint64
+	Parent  uint64 // 0 for root spans
+	TraceID uint64 // root span's ID; shared by every span of one trace
+	Name    string
 
 	VStart time.Duration // virtual time at start
 	VEnd   time.Duration // virtual time at end
@@ -65,6 +67,29 @@ func (s Span) Attr(key string) string {
 	return ""
 }
 
+// SpanContext identifies a position inside a trace: the trace's ID and
+// the span new children should parent under. It is the unit of
+// propagation — carried on a *sim.Proc between components and on the
+// proto.Message envelope across process boundaries. The zero value
+// means "no trace"; StartCtx then begins a new root trace.
+type SpanContext struct {
+	TraceID uint64
+	Span    uint64
+}
+
+// Valid reports whether the context carries a trace.
+func (sc SpanContext) Valid() bool { return sc.TraceID != 0 }
+
+// Context returns the span's position for propagating to children,
+// possibly across a process boundary. A nil span yields the zero
+// context.
+func (s *Span) Context() SpanContext {
+	if s == nil {
+		return SpanContext{}
+	}
+	return SpanContext{TraceID: s.TraceID, Span: s.ID}
+}
+
 // DefaultSpanLimit bounds the tracer's finished-span ring buffer.
 const DefaultSpanLimit = 8192
 
@@ -73,6 +98,7 @@ const DefaultSpanLimit = 8192
 type Tracer struct {
 	mu      sync.Mutex
 	nextID  uint64
+	idBase  uint64
 	limit   int
 	ring    []*Span
 	next    int // write position once the ring is full
@@ -88,9 +114,33 @@ func NewTracer(limit int) *Tracer {
 	return &Tracer{limit: limit}
 }
 
-// Start begins a span. c supplies virtual time and may be nil for
-// wall-only spans. On a nil tracer it returns nil, which every Span
-// method accepts.
+// SetIDBase offsets every span ID this tracer mints by base, so span
+// sets merged from several processes (shop daemon + plant daemons)
+// never collide and a cross-process parent reference stays resolvable.
+// Call it before the first span starts; daemons derive the base from
+// their instance name.
+func (t *Tracer) SetIDBase(base uint64) {
+	if t == nil {
+		return
+	}
+	t.mu.Lock()
+	t.idBase = base
+	t.mu.Unlock()
+}
+
+// IDBaseForInstance derives a SetIDBase offset from an instance name:
+// a 31-bit FNV-1a hash shifted into the high half of the ID space, so
+// each daemon mints from its own range and span sets merged across
+// processes (shop + plants) keep parent references resolvable.
+func IDBaseForInstance(name string) uint64 {
+	h := fnv.New32a()
+	h.Write([]byte(name))
+	return uint64(h.Sum32()&0x7fffffff) << 32
+}
+
+// Start begins a root span of a new trace. c supplies virtual time and
+// may be nil for wall-only spans. On a nil tracer it returns nil, which
+// every Span method accepts.
 func (t *Tracer) Start(c Clock, name string) *Span {
 	if t == nil {
 		return nil
@@ -101,18 +151,36 @@ func (t *Tracer) Start(c Clock, name string) *Span {
 	}
 	t.mu.Lock()
 	t.nextID++
-	s.ID = t.nextID
+	s.ID = t.idBase + t.nextID
 	t.mu.Unlock()
+	s.TraceID = s.ID
 	return s
 }
 
-// Child begins a sub-span of s.
+// StartCtx begins a span inside the trace sc identifies — the
+// cross-boundary continuation used when the parent span lives on
+// another proc or in another process. With the zero context it is
+// exactly Start: a new root trace.
+func (t *Tracer) StartCtx(c Clock, name string, sc SpanContext) *Span {
+	s := t.Start(c, name)
+	if s == nil {
+		return nil
+	}
+	if sc.Valid() {
+		s.TraceID = sc.TraceID
+		s.Parent = sc.Span
+	}
+	return s
+}
+
+// Child begins a sub-span of s in the same trace.
 func (s *Span) Child(c Clock, name string) *Span {
 	if s == nil {
 		return nil
 	}
 	cs := s.tr.Start(c, name)
 	cs.Parent = s.ID
+	cs.TraceID = s.TraceID
 	return cs
 }
 
@@ -162,6 +230,7 @@ func (s *Span) RecordChild(name string, vstart, vend time.Duration) {
 	now := time.Now()
 	cs := s.tr.Start(nil, name)
 	cs.Parent = s.ID
+	cs.TraceID = s.TraceID
 	cs.VStart = vstart
 	cs.VEnd = vend
 	cs.WStart = now
@@ -203,6 +272,22 @@ func (t *Tracer) Spans() []Span {
 	return out
 }
 
+// SpansFor returns the finished spans belonging to one trace, oldest
+// first. Spans evicted from the ring are gone — check Dropped() when a
+// complete tree matters.
+func (t *Tracer) SpansFor(traceID uint64) []Span {
+	if t == nil || traceID == 0 {
+		return nil
+	}
+	var out []Span
+	for _, s := range t.Spans() {
+		if s.TraceID == traceID {
+			out = append(out, s)
+		}
+	}
+	return out
+}
+
 // Dropped reports how many finished spans were evicted from the ring.
 func (t *Tracer) Dropped() uint64 {
 	if t == nil {
@@ -225,16 +310,25 @@ func (t *Tracer) Reset() {
 	t.mu.Unlock()
 }
 
-// Hub bundles a tracer and a metrics registry — the single handle
-// components are wired with. A nil *Hub disables all instrumentation.
+// Hub bundles a tracer, a metrics registry, a per-creation flight
+// recorder and an optional SLO engine — the single handle components
+// are wired with. A nil *Hub disables all instrumentation.
 type Hub struct {
 	Tracer  *Tracer
 	Metrics *Registry
+	Flight  *FlightRecorder
+	// SLO holds the hub's objectives; nil until a daemon or experiment
+	// installs an engine (see NewSLOEngine).
+	SLO *SLOEngine
+	// VClock, when set, supplies the virtual time /debug/health
+	// evaluates SLOs at (daemons point it at their service runner).
+	VClock Clock
 }
 
-// New returns a hub with a default tracer and an empty registry.
+// New returns a hub with a default tracer, an empty registry and a
+// default flight recorder.
 func New() *Hub {
-	return &Hub{Tracer: NewTracer(0), Metrics: NewRegistry()}
+	return &Hub{Tracer: NewTracer(0), Metrics: NewRegistry(), Flight: NewFlightRecorder(0)}
 }
 
 // T returns the hub's tracer (nil on a nil hub).
@@ -251,6 +345,14 @@ func (h *Hub) M() *Registry {
 		return nil
 	}
 	return h.Metrics
+}
+
+// F returns the hub's flight recorder (nil on a nil hub).
+func (h *Hub) F() *FlightRecorder {
+	if h == nil {
+		return nil
+	}
+	return h.Flight
 }
 
 // Counter resolves a counter by name (nil on a nil hub).

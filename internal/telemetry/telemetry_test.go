@@ -234,11 +234,20 @@ func TestHTTPEndpoints(t *testing.T) {
 	body, _ = io.ReadAll(resp.Body)
 	resp.Body.Close()
 	lines := strings.Split(strings.TrimSpace(string(body)), "\n")
-	if len(lines) != 1 {
-		t.Fatalf("name filter returned %d spans, want 1:\n%s", len(lines), body)
+	// First line is the meta record (span count, ring drops); span
+	// records follow.
+	if len(lines) != 2 {
+		t.Fatalf("name filter returned %d lines, want meta + 1 span:\n%s", len(lines), body)
+	}
+	var meta TraceMeta
+	if err := json.Unmarshal([]byte(lines[0]), &meta); err != nil {
+		t.Fatalf("meta line is not JSON: %v", err)
+	}
+	if !meta.Meta || meta.Spans != 1 || meta.Dropped != 0 {
+		t.Fatalf("meta record = %+v", meta)
 	}
 	var rec SpanRecord
-	if err := json.Unmarshal([]byte(lines[0]), &rec); err != nil {
+	if err := json.Unmarshal([]byte(lines[1]), &rec); err != nil {
 		t.Fatalf("trace line is not JSON: %v", err)
 	}
 	if rec.Name != "plant.create" || rec.Attrs["vmid"] != "vm-1" {

@@ -1,0 +1,56 @@
+package workload
+
+import "testing"
+
+// The SLO run is the acceptance gate for the observability stack: every
+// creation — batched, serial, faulted-over — must yield exactly one
+// rooted span tree crossing shop, plant and clone layers, a complete
+// flight-recorder timeline, and objectives that hold.
+func TestSLORunSmoke(t *testing.T) {
+	res, err := RunSLO(42, SLOOptions{WarmBatch: 8, ChaosRequests: 8})
+	if err != nil {
+		t.Fatalf("RunSLO: %v", err)
+	}
+	if res.Succeeded != res.Requests {
+		t.Errorf("succeeded %d of %d requests", res.Succeeded, res.Requests)
+	}
+	if !res.TreeOK() {
+		t.Errorf("span-tree invariant violated: orphans=%d extra_roots=%d incomplete=%d bad_flights=%d dropped=%d/%d",
+			res.OrphanSpans, res.ExtraRoots, res.Incomplete, res.BadFlights,
+			res.TracerDropped, res.FlightDropped)
+	}
+	if !res.SLOsHold {
+		for _, st := range res.Objectives {
+			if !st.OK {
+				t.Errorf("objective %s violated: value=%v bound=%v", st.Name, st.Value, st.Bound)
+			}
+		}
+	}
+	if len(res.Objectives) != len(DefaultSLOObjectives()) {
+		t.Errorf("%d objective statuses, want %d", len(res.Objectives), len(DefaultSLOObjectives()))
+	}
+	// The chaos phase must actually have injected something at the
+	// default mix, or the gate proves nothing.
+	total := int64(0)
+	for _, n := range res.Injections {
+		total += n
+	}
+	if total == 0 {
+		t.Error("chaos phase injected no faults")
+	}
+}
+
+func TestSLORunDeterministicAcrossRuns(t *testing.T) {
+	opts := SLOOptions{WarmBatch: 4, ChaosRequests: 4}
+	a, err := RunSLO(7, opts)
+	if err != nil {
+		t.Fatalf("run 1: %v", err)
+	}
+	b, err := RunSLO(7, opts)
+	if err != nil {
+		t.Fatalf("run 2: %v", err)
+	}
+	if a.Fingerprint != b.Fingerprint {
+		t.Fatal("same-seed SLO runs diverged")
+	}
+}

@@ -42,4 +42,8 @@ if [ "${CHECK_SHORT:-0}" != "1" ]; then
     # and heal (or retire), seeds stay intact, the end audit is clean,
     # and same-seed reruns are byte-identical.
     go run ./cmd/vmbench -exp scrub -series smoke >/dev/null
+    # Observability smoke: every creation must yield one rooted span
+    # tree crossing all three layers with a complete flight timeline,
+    # SLOs must hold, and same-seed reruns are byte-identical.
+    go run ./cmd/vmbench -exp slo -series smoke >/dev/null
 fi
