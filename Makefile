@@ -4,7 +4,7 @@ GO ?= go
 STATICCHECK_VERSION ?= 2024.1.1
 STATICCHECK ?= staticcheck
 
-.PHONY: build test race vet lint check bench chaos pipeline warm scrub slo
+.PHONY: build test race vet lint check bench chaos pipeline warm scrub slo restart
 
 build:
 	$(GO) build ./...
@@ -72,3 +72,12 @@ scrub:
 # and SLO objectives that hold, with same-seed reruns byte-identical.
 slo:
 	$(GO) run ./cmd/vmbench -exp slo -series smoke
+
+# restart is the kill-9 crash-restart smoke: shop daemons are killed at
+# the write-ahead protocol's worst instants (intent durable but
+# undispatched; VM built but uncommitted), plants crash and the
+# warehouse restarts with an image quarantined. Exits nonzero unless
+# every creation is exactly-once (zero lost, zero duplicated), the
+# quarantine survives, and a same-seed rerun is byte-identical.
+restart:
+	$(GO) run ./cmd/vmbench -exp restart -series smoke

@@ -70,6 +70,8 @@ func main() {
 		doWarehouse(args[1:])
 	case "scrub":
 		doScrub(args[1:])
+	case "journal":
+		doJournal(args[1:])
 	case "publish":
 		if len(args) < 3 {
 			usage()
@@ -82,7 +84,7 @@ func main() {
 }
 
 func usage() {
-	fmt.Fprintln(os.Stderr, "usage: vmctl [-shop addr] create [-spec file | -example] | query <vmid> | destroy <vmid> | suspend <vmid> | resume <vmid> | publish <vmid> <image> | ping | dot [-spec file] | stats [-debug addr] [-traces n] | trace <vmid> [-debug addr,addr...] | queue [-debug addr,addr...] | warehouse [-debug addr,addr...] | scrub [-debug addr,addr...]")
+	fmt.Fprintln(os.Stderr, "usage: vmctl [-shop addr] create [-spec file | -example] | query <vmid> | destroy <vmid> | suspend <vmid> | resume <vmid> | publish <vmid> <image> | ping | dot [-spec file] | stats [-debug addr] [-traces n] | trace <vmid> [-debug addr,addr...] | queue [-debug addr,addr...] | warehouse [-debug addr,addr...] | scrub [-debug addr,addr...] | journal [-debug addr,addr...] [-n k] [-verify]")
 	os.Exit(2)
 }
 
@@ -475,6 +477,67 @@ func doScrub(args []string) {
 				}
 			}
 		}
+	}
+}
+
+// doJournal tails and verifies each daemon's control-plane event log
+// over its /debug/journal endpoint.
+func doJournal(args []string) {
+	fs := flag.NewFlagSet("journal", flag.ExitOnError)
+	debugAddrs := fs.String("debug", "localhost:7070,localhost:7071", "comma-separated daemon debug HTTP addresses")
+	tail := fs.Int("n", 20, "records to tail per daemon (0 = all)")
+	verify := fs.Bool("verify", false, "only print checksum verification counts")
+	fs.Parse(args)
+
+	bad := 0
+	for _, addr := range strings.Split(*debugAddrs, ",") {
+		addr = strings.TrimSpace(addr)
+		if addr == "" {
+			continue
+		}
+		body, err := httpGet(fmt.Sprintf("http://%s/debug/journal?n=%d", addr, *tail))
+		if err != nil {
+			fmt.Printf("%s: no journal (%v)\n", addr, err)
+			continue
+		}
+		var st struct {
+			Dir      string `json:"dir"`
+			Seq      uint64 `json:"seq"`
+			Segments int    `json:"segments"`
+			Bytes    int64  `json:"bytes"`
+			Good     int    `json:"good_records"`
+			Bad      int    `json:"bad_records"`
+			Records  []struct {
+				Seq    uint64            `json:"seq"`
+				Kind   string            `json:"kind"`
+				Key    string            `json:"key"`
+				Fields map[string]string `json:"fields"`
+			} `json:"records"`
+		}
+		if err := json.Unmarshal(body, &st); err != nil {
+			log.Fatalf("vmctl: bad /debug/journal response from %s: %v", addr, err)
+		}
+		fmt.Printf("%s: %s seq=%d segments=%d bytes=%d verified %d good / %d bad\n",
+			addr, st.Dir, st.Seq, st.Segments, st.Bytes, st.Good, st.Bad)
+		bad += st.Bad
+		if *verify {
+			continue
+		}
+		for _, r := range st.Records {
+			line := fmt.Sprintf("  %6d %-18s %s", r.Seq, r.Kind, r.Key)
+			keys := make([]string, 0, len(r.Fields))
+			for k := range r.Fields {
+				keys = append(keys, k)
+			}
+			sort.Strings(keys)
+			for _, k := range keys {
+				line += fmt.Sprintf(" %s=%q", k, r.Fields[k])
+			}
+			fmt.Println(line)
+		}
+	}
+	if bad > 0 {
+		log.Fatalf("vmctl: %d journal records failed checksum verification", bad)
 	}
 }
 

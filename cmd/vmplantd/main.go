@@ -22,6 +22,7 @@ import (
 	"vmplants/internal/cluster"
 	"vmplants/internal/core"
 	"vmplants/internal/cost"
+	"vmplants/internal/journal"
 	"vmplants/internal/plant"
 	"vmplants/internal/proto"
 	"vmplants/internal/service"
@@ -52,6 +53,7 @@ func main() {
 		budgetMB = flag.Int64("warehouse-budget", 0, "warehouse byte budget in MB beyond the seed images (0 = unlimited)")
 		scrubInt = flag.Duration("scrub", 0, "wall-clock interval between warehouse integrity scrub passes (0 = disabled)")
 		replica  = flag.Bool("replica", false, "mirror seed extents to a replica device so the scrubber can repair them")
+		durable  = flag.Bool("journal", true, "journal VM lifecycle and warehouse catalog/quarantine events for crash-restart recovery")
 	)
 	flag.Parse()
 
@@ -104,6 +106,19 @@ func main() {
 	hub.VClock = runner
 	hub.SLO = telemetry.NewSLOEngine(hub.M(), workload.DefaultSLOObjectives()...)
 
+	var jnl *journal.Journal
+	if *durable {
+		// One event log per node, shared by the plant daemon and its
+		// warehouse view: VM lifecycle, catalog and quarantine records
+		// interleave in one stream on the node's local disk. Attaching
+		// after publish imports the already-published catalog.
+		jnl = journal.Open(tb.Nodes[0].LocalDisk(), "journal/"+*name)
+		jnl.SetTelemetry(hub)
+		pl.SetJournal(jnl)
+		wh.SetJournal(jnl)
+		log.Printf("journaling plant and warehouse events to %s", jnl.Dir())
+	}
+
 	if *replica {
 		wh.SetReplica(storage.NewVolume("replica",
 			storage.NewDevice("replica-disk", 40<<20, 2*time.Millisecond)))
@@ -127,11 +142,14 @@ func main() {
 	if *debug != "" {
 		mux := hub.DebugMux()
 		mux.Handle("/debug/warehouse", wh.DebugHandler())
+		if jnl != nil {
+			mux.Handle("/debug/journal", jnl.DebugHandler())
+		}
 		addr, err := telemetry.Serve(*debug, mux)
 		if err != nil {
 			log.Fatalf("vmplantd: %v", err)
 		}
-		log.Printf("debug endpoints on http://%s/metrics, /debug/traces, /debug/creation/<id>, /debug/health and /debug/warehouse", addr)
+		log.Printf("debug endpoints on http://%s/metrics, /debug/traces, /debug/creation/<id>, /debug/health, /debug/warehouse and /debug/journal", addr)
 	}
 
 	if *vnetAddr != "" {

@@ -15,10 +15,12 @@ import (
 	"strings"
 	"time"
 
+	"vmplants/internal/journal"
 	"vmplants/internal/proto"
 	"vmplants/internal/service"
 	"vmplants/internal/shop"
 	"vmplants/internal/sim"
+	"vmplants/internal/storage"
 	"vmplants/internal/telemetry"
 	"vmplants/internal/workload"
 )
@@ -31,6 +33,7 @@ func main() {
 		timeout = flag.Duration("timeout", 30*time.Second, "per-plant call timeout")
 		cache   = flag.Bool("cache", true, "cache classads to serve queries when plants are down")
 		debug   = flag.String("debug", ":7070", "debug HTTP listen address for /metrics and /debug/traces (empty = disabled)")
+		durable = flag.Bool("journal", true, "journal creation intents/commits and route changes for crash-restart recovery")
 	)
 	flag.Parse()
 
@@ -63,12 +66,29 @@ func main() {
 	hub.VClock = runner
 	hub.SLO = telemetry.NewSLOEngine(hub.M(), workload.DefaultSLOObjectives()...)
 
+	var jnl *journal.Journal
+	if *durable {
+		// The write-ahead event log lives on its own volume, apart from
+		// any image storage, the way a real deployment separates WAL and
+		// data devices.
+		vol := storage.NewVolume("shop-log",
+			storage.NewDevice("shop-log-disk", 64<<20, 100*time.Microsecond))
+		jnl = journal.Open(vol, "journal/shop")
+		jnl.SetTelemetry(hub)
+		s.SetJournal(jnl)
+		log.Printf("journaling control-plane events to %s", jnl.Dir())
+	}
+
 	if *debug != "" {
-		addr, err := hub.ServeDebug(*debug)
+		mux := hub.DebugMux()
+		if jnl != nil {
+			mux.Handle("/debug/journal", jnl.DebugHandler())
+		}
+		addr, err := telemetry.Serve(*debug, mux)
 		if err != nil {
 			log.Fatalf("vmshopd: %v", err)
 		}
-		log.Printf("debug endpoints on http://%s/metrics, /debug/traces, /debug/creation/<id> and /debug/health", addr)
+		log.Printf("debug endpoints on http://%s/metrics, /debug/traces, /debug/creation/<id>, /debug/health and /debug/journal", addr)
 	}
 
 	l, err := net.Listen("tcp", *listen)

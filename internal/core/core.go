@@ -117,6 +117,11 @@ type Spec struct {
 	//
 	//	TARGET.FreeMemoryMB >= 512 && TARGET.Site == "ufl"
 	Requirements string
+	// RequestID is the client's idempotency token: resubmitting a spec
+	// with the same RequestID after a shop failure returns the original
+	// creation's VMID instead of building a second VM. Empty disables
+	// deduplication (every submission is a fresh request).
+	RequestID string
 	// Graph is the configuration DAG.
 	Graph *dag.Graph
 }

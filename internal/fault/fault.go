@@ -60,12 +60,18 @@ const (
 	// reported success but left one file's content inconsistent with
 	// its recorded checksum.
 	TornWrite Kind = "torn-write"
+	// DaemonKill hard-kills a control-plane daemon (kill -9) at a named
+	// point in its protocol — site "shop" with op "intent" (after the
+	// creation intent is journaled, before dispatch) or "commit" (after
+	// the plant succeeded, before the commit record lands). The daemon's
+	// journal loses its unsynced tail; soft state evaporates.
+	DaemonKill Kind = "daemon-kill"
 )
 
 // Kinds lists every exported fault kind. Telemetry wiring derives its
 // counter set from this slice, so a newly added kind cannot silently
 // miss its injection counter.
-var Kinds = []Kind{PlantCrash, RPCDrop, RPCDelay, CloneIO, SlowBid, ActionFail, CorruptExtent, TornWrite}
+var Kinds = []Kind{PlantCrash, RPCDrop, RPCDelay, CloneIO, SlowBid, ActionFail, CorruptExtent, TornWrite, DaemonKill}
 
 // Wildcard matches every site in a rule key.
 const Wildcard = "*"

@@ -191,7 +191,7 @@ func TestTelemetryCounters(t *testing.T) {
 // added kind silently missed its injection counter. The counter set is
 // now derived from Kinds; every exported kind must register and count.
 func TestTelemetryCoversAllKinds(t *testing.T) {
-	exported := []Kind{PlantCrash, RPCDrop, RPCDelay, CloneIO, SlowBid, ActionFail, CorruptExtent, TornWrite}
+	exported := []Kind{PlantCrash, RPCDrop, RPCDelay, CloneIO, SlowBid, ActionFail, CorruptExtent, TornWrite, DaemonKill}
 	if len(Kinds) != len(exported) {
 		t.Fatalf("Kinds lists %d kinds, exported are %d — keep the slice in sync", len(Kinds), len(exported))
 	}

@@ -1,0 +1,300 @@
+package journal
+
+import (
+	"fmt"
+	"testing"
+	"time"
+
+	"vmplants/internal/sim"
+	"vmplants/internal/storage"
+	"vmplants/internal/telemetry"
+)
+
+func testVol() *storage.Volume {
+	return storage.NewVolume("jdisk",
+		storage.NewDevice("jdisk", 80<<20, 100*time.Microsecond))
+}
+
+// run executes body as the sole kernel process.
+func run(t *testing.T, body func(p *sim.Proc)) {
+	t.Helper()
+	k := sim.NewKernel()
+	k.Spawn("test", body)
+	if res := k.Run(0); len(res.Stranded) != 0 {
+		t.Fatalf("stranded procs: %v", res.Stranded)
+	}
+}
+
+func rec(kind Kind, key string, kv ...string) Record {
+	r := Record{Kind: kind, Key: key}
+	if len(kv) > 0 {
+		r.Fields = make(map[string]string)
+		for i := 0; i+1 < len(kv); i += 2 {
+			r.Fields[kv[i]] = kv[i+1]
+		}
+	}
+	return r
+}
+
+func TestAppendReplayRoundTrip(t *testing.T) {
+	j := Open(testVol(), "journal/test")
+	run(t, func(p *sim.Proc) {
+		j.AppendSync(p, rec(CreationIntent, "vm-1", "req", "r-1", "spec", `<a b="c"/>`))
+		j.AppendSync(p, rec(CreationCommit, "vm-1", "plant", "plant3"))
+		j.AppendSync(p, rec(QuarantineEnter, "img-64", "reason", "scrub: checksum mismatch"))
+	})
+	var got []Record
+	st, err := j.Replay(func(r Record) error { got = append(got, r); return nil })
+	if err != nil {
+		t.Fatalf("replay: %v", err)
+	}
+	if st.Records != 3 || st.TornTails != 0 {
+		t.Fatalf("stats = %+v, want 3 records, 0 torn", st)
+	}
+	if got[0].Kind != CreationIntent || got[0].Field("spec") != `<a b="c"/>` {
+		t.Fatalf("record 0 round-trip broken: %+v", got[0])
+	}
+	if got[1].Field("plant") != "plant3" || got[2].Field("reason") != "scrub: checksum mismatch" {
+		t.Fatalf("fields lost: %+v / %+v", got[1], got[2])
+	}
+	for i, r := range got {
+		if r.Seq != uint64(i+1) {
+			t.Fatalf("record %d has seq %d", i, r.Seq)
+		}
+	}
+}
+
+func TestAppendChargesDeviceAndSyncCostsTime(t *testing.T) {
+	j := Open(testVol(), "journal/test")
+	var appended, synced time.Duration
+	run(t, func(p *sim.Proc) {
+		t0 := p.Now()
+		j.Append(p, rec(VMCreated, "vm-9"))
+		appended = p.Now() - t0
+		t0 = p.Now()
+		j.Sync(p)
+		synced = p.Now() - t0
+	})
+	if appended <= 0 {
+		t.Fatalf("append charged no virtual time")
+	}
+	if synced != DefaultSyncLatency {
+		t.Fatalf("sync cost %v, want %v", synced, DefaultSyncLatency)
+	}
+}
+
+func TestSegmentRotation(t *testing.T) {
+	j := Open(testVol(), "journal/test")
+	j.SegmentBytes = 256
+	run(t, func(p *sim.Proc) {
+		for i := 0; i < 20; i++ {
+			j.AppendSync(p, rec(VMCreated, fmt.Sprintf("vm-%d", i), "plant", "p0"))
+		}
+	})
+	if j.SegmentCount() < 2 {
+		t.Fatalf("expected rotation, got %d segment(s)", j.SegmentCount())
+	}
+	st, err := j.Replay(nil)
+	if err != nil || st.Records != 20 || st.TornTails != 0 {
+		t.Fatalf("replay after rotation: %+v, %v", st, err)
+	}
+}
+
+func TestCrashDropsUnsyncedLeavingTornTail(t *testing.T) {
+	j := Open(testVol(), "journal/test")
+	run(t, func(p *sim.Proc) {
+		j.AppendSync(p, rec(CreationIntent, "vm-1"))
+		j.AppendSync(p, rec(CreationCommit, "vm-1", "plant", "p1"))
+		// Buffered but never synced: these die with the daemon.
+		j.Append(p, rec(CreationIntent, "vm-2"))
+		j.Append(p, rec(CreationCommit, "vm-2", "plant", "p2"))
+	})
+	j.Crash()
+	var got []Record
+	st, err := j.Replay(func(r Record) error { got = append(got, r); return nil })
+	if err != nil {
+		t.Fatalf("replay: %v", err)
+	}
+	if st.Records != 2 {
+		t.Fatalf("replayed %d records, want the 2 synced ones", st.Records)
+	}
+	if st.TornTails != 1 {
+		t.Fatalf("torn tails = %d, want 1 (the half-flushed intent)", st.TornTails)
+	}
+	if got[1].Kind != CreationCommit || got[1].Key != "vm-1" {
+		t.Fatalf("durable prefix wrong: %+v", got)
+	}
+	// The log is consistent again: appends extend the good prefix and
+	// sequence numbers continue from the last durable record.
+	run(t, func(p *sim.Proc) {
+		r := j.AppendSync(p, rec(CreationAbort, "vm-3"))
+		if r.Seq != 3 {
+			t.Fatalf("post-replay seq = %d, want 3", r.Seq)
+		}
+	})
+	if st, _ := j.Replay(nil); st.Records != 3 || st.TornTails != 0 {
+		t.Fatalf("post-truncate replay: %+v", st)
+	}
+}
+
+func TestCrashWithNothingUnsyncedIsLossless(t *testing.T) {
+	j := Open(testVol(), "journal/test")
+	run(t, func(p *sim.Proc) {
+		j.AppendSync(p, rec(RouteDrop, "vm-1"))
+	})
+	j.Crash()
+	if st, _ := j.Replay(nil); st.Records != 1 || st.TornTails != 0 {
+		t.Fatalf("clean crash lost data: %+v", st)
+	}
+}
+
+// Torn-tail trio, case 1: the final record's bytes were only partially
+// flushed.
+func TestReplayTruncatedFinalRecord(t *testing.T) {
+	hub := telemetry.New()
+	j := Open(testVol(), "journal/test")
+	j.SetTelemetry(hub)
+	run(t, func(p *sim.Proc) {
+		for i := 0; i < 5; i++ {
+			j.AppendSync(p, rec(VMCreated, fmt.Sprintf("vm-%d", i)))
+		}
+	})
+	if err := j.TruncateTail(7); err != nil {
+		t.Fatal(err)
+	}
+	st, err := j.Replay(nil)
+	if err != nil {
+		t.Fatalf("replay: %v", err)
+	}
+	if st.Records != 4 || st.TornTails != 1 {
+		t.Fatalf("stats = %+v, want 4 records + 1 torn tail", st)
+	}
+	if got := hub.Counter("journal.torn_tails").Value(); got != 1 {
+		t.Fatalf("journal.torn_tails = %d, want 1", got)
+	}
+	if j.Seq() != 4 {
+		t.Fatalf("seq = %d, want 4", j.Seq())
+	}
+}
+
+// Torn-tail trio, case 2: a bit flip in the middle of the log. Replay
+// keeps the prefix and discards everything from the damage on — a
+// consistent prefix, not a hole.
+func TestReplayBitFlippedMidSegmentRecord(t *testing.T) {
+	hub := telemetry.New()
+	j := Open(testVol(), "journal/test")
+	j.SetTelemetry(hub)
+	run(t, func(p *sim.Proc) {
+		for i := 0; i < 8; i++ {
+			j.AppendSync(p, rec(VMCreated, fmt.Sprintf("vm-%d", i)))
+		}
+	})
+	if err := j.CorruptRecord(0, 3); err != nil {
+		t.Fatal(err)
+	}
+	var got []Record
+	st, err := j.Replay(func(r Record) error { got = append(got, r); return nil })
+	if err != nil {
+		t.Fatalf("replay: %v", err)
+	}
+	if st.Records != 3 || st.TornTails != 1 {
+		t.Fatalf("stats = %+v, want 3-record prefix + 1 torn", st)
+	}
+	if got[len(got)-1].Key != "vm-2" {
+		t.Fatalf("prefix ends at %q, want vm-2", got[len(got)-1].Key)
+	}
+	if hub.Counter("journal.torn_tails").Value() != 1 {
+		t.Fatalf("torn_tails counter not bumped")
+	}
+	// Re-replay of the truncated log is clean and stable.
+	if st, _ := j.Replay(nil); st.Records != 3 || st.TornTails != 0 {
+		t.Fatalf("second replay not clean: %+v", st)
+	}
+}
+
+// Torn-tail trio, case 3: a crash immediately after segment rotation
+// leaves an empty active segment; replay must treat it as a consistent
+// (if boring) tail.
+func TestReplayEmptySegment(t *testing.T) {
+	j := Open(testVol(), "journal/test")
+	run(t, func(p *sim.Proc) {
+		j.AppendSync(p, rec(ImagePublish, "img-a"))
+	})
+	j.AppendEmptySegment()
+	st, err := j.Replay(nil)
+	if err != nil {
+		t.Fatalf("replay: %v", err)
+	}
+	if st.Records != 1 || st.TornTails != 0 || st.Segments != 2 {
+		t.Fatalf("stats = %+v, want 1 record over 2 segments, 0 torn", st)
+	}
+	// The empty segment stays usable as the active tail.
+	run(t, func(p *sim.Proc) {
+		if r := j.AppendSync(p, rec(ImagePublish, "img-b")); r.Seq != 2 {
+			t.Fatalf("seq = %d, want 2", r.Seq)
+		}
+	})
+}
+
+// A bit flip in an earlier segment discards the later segments too:
+// the replayed state is a prefix of history, never a gappy subsequence.
+func TestCorruptionInEarlierSegmentDropsLaterSegments(t *testing.T) {
+	j := Open(testVol(), "journal/test")
+	j.SegmentBytes = 128
+	run(t, func(p *sim.Proc) {
+		for i := 0; i < 12; i++ {
+			j.AppendSync(p, rec(VMCreated, fmt.Sprintf("vm-%02d", i)))
+		}
+	})
+	if j.SegmentCount() < 3 {
+		t.Fatalf("need ≥3 segments, got %d", j.SegmentCount())
+	}
+	if err := j.CorruptRecord(1, 0); err != nil {
+		t.Fatal(err)
+	}
+	st, err := j.Replay(nil)
+	if err != nil {
+		t.Fatalf("replay: %v", err)
+	}
+	if st.TornTails != 1 {
+		t.Fatalf("torn = %d, want 1", st.TornTails)
+	}
+	if j.SegmentCount() != 2 {
+		t.Fatalf("later segments not discarded: %d remain", j.SegmentCount())
+	}
+	if good, bad := j.Verify(); bad != 0 || good != st.Records {
+		t.Fatalf("verify after truncate: good=%d bad=%d want good=%d bad=0", good, bad, st.Records)
+	}
+}
+
+func TestDeterministicAcrossRuns(t *testing.T) {
+	build := func() string {
+		j := Open(testVol(), "journal/test")
+		run(t, func(p *sim.Proc) {
+			j.AppendSync(p, rec(CreationIntent, "vm-1", "req", "r-1"))
+			j.Append(p, rec(CreationCommit, "vm-1", "plant", "p0"))
+		})
+		j.Crash()
+		_, _ = j.Replay(nil)
+		var out string
+		for _, r := range j.Records() {
+			out += fmt.Sprintf("%d/%s/%s;", r.Seq, r.Kind, r.Key)
+		}
+		return fmt.Sprintf("%s seq=%d bytes=%d", out, j.Seq(), j.Bytes())
+	}
+	if a, b := build(), build(); a != b {
+		t.Fatalf("crash/replay not deterministic:\n%s\n%s", a, b)
+	}
+}
+
+// A field named after an envelope wire key ("seq", "kind", "key") would
+// silently overwrite the envelope on decode; Append refuses it loudly.
+func TestReservedFieldNamePanics(t *testing.T) {
+	j := Open(testVol(), "journal/reserved")
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Append accepted a field named \"kind\"")
+		}
+	}()
+	j.Append(nil, Record{Kind: ImagePublish, Key: "x", Fields: map[string]string{"kind": "seed"}})
+}

@@ -19,6 +19,7 @@ import (
 	"vmplants/internal/cost"
 	"vmplants/internal/dag"
 	"vmplants/internal/fault"
+	"vmplants/internal/journal"
 	"vmplants/internal/match"
 	"vmplants/internal/sim"
 	"vmplants/internal/simnet"
@@ -129,11 +130,19 @@ type Plant struct {
 	// state-copies in flight (see admission.go). Only kernel processes
 	// touch it, so it needs no lock.
 	cloneGate *sim.Resource
-	// ledger is the host-side record of VMs that survive a daemon
-	// crash: the production line's processes keep running when the
-	// management daemon dies, so Recover rebuilds the information
-	// system from here. Classads are soft state and are not kept.
-	ledger map[core.VMID]*record
+	// host models the host-side runtime state that survives a daemon
+	// death: the production line's VM processes keep running when the
+	// management daemon dies. It is maintained continuously — a record
+	// enters at creation and leaves at collect/migration — never copied
+	// at crash time, so Recover always rebuilds the information system
+	// from exactly what the host still runs. Classads are soft state
+	// and are re-derived, not kept.
+	host map[core.VMID]*record
+	// jnl, when attached, receives the plant's lifecycle events
+	// (vm-created, vm-collected, plant-crash, plant-recover) — the same
+	// durability mechanism the shop and warehouse replay. Recovery
+	// cross-checks its replay against the host scan.
+	jnl *journal.Journal
 
 	// Telemetry instruments, resolved once in New; all nil (no-op)
 	// when cfg.Telemetry is nil.
@@ -214,7 +223,7 @@ func New(name string, node *cluster.Node, wh *warehouse.Warehouse, cfg Config) *
 		macs:   simnet.NewMACPool(),
 		info:   NewInfoSystem(),
 		pool:   make(map[string][]precreated),
-		ledger: make(map[core.VMID]*record),
+		host:   make(map[core.VMID]*record),
 		rng:    rng,
 		faults: faults,
 
@@ -552,9 +561,16 @@ func (pl *Plant) Create(p *sim.Proc, id core.VMID, spec *core.Spec) (_ *classad.
 	cfgSp.End(p)
 	cfgTime := p.Now() - cfgStart
 
-	// Classad for the information system and the client.
+	// Classad for the information system and the client. The record
+	// also enters the host map: that is the runtime state a daemon
+	// crash cannot take down.
 	ad := pl.buildAd(p, id, spec, vm, golden, best, cloneStats)
-	pl.info.store(&record{vm: vm, ad: ad, domain: spec.Domain, golden: golden, createdAt: p.Now()})
+	rec := &record{vm: vm, ad: ad, domain: spec.Domain, golden: golden, createdAt: p.Now()}
+	pl.info.store(rec)
+	pl.mu.Lock()
+	pl.host[id] = rec
+	pl.mu.Unlock()
+	pl.journalVM(p, id, true)
 	total := p.Now() - start
 	pl.mu.Lock()
 	pl.creations = append(pl.creations, CreateStats{
@@ -849,6 +865,10 @@ func (pl *Plant) Collect(p *sim.Proc, id core.VMID) error {
 		}
 	}
 	pl.info.remove(id)
+	pl.mu.Lock()
+	delete(pl.host, id)
+	pl.mu.Unlock()
+	pl.journalVM(p, id, false)
 	pl.mCollects.Inc()
 	pl.gActiveVMs.Set(int64(pl.info.Count()))
 	return nil
@@ -938,12 +958,20 @@ func (pl *Plant) MigrateTo(p *sim.Proc, id core.VMID, dst *Plant) (err error) {
 	}
 	// Hand over bookkeeping: record moves, source network slot freed.
 	pl.info.remove(id)
+	pl.mu.Lock()
+	delete(pl.host, id)
+	pl.mu.Unlock()
+	pl.journalVM(p, id, false)
 	if err := pl.nets.Release(r.domain); err != nil {
 		return err
 	}
 	r.ad.SetString(core.AttrPlant, dst.name)
 	r.ad.SetString(core.AttrNetwork, dstNet.ID)
 	dst.info.store(r)
+	dst.mu.Lock()
+	dst.host[id] = r
+	dst.mu.Unlock()
+	dst.journalVM(p, id, true)
 	return nil
 }
 

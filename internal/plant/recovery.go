@@ -1,12 +1,14 @@
 package plant
 
 import (
+	"fmt"
 	"sort"
 	"time"
 
 	"vmplants/internal/classad"
 	"vmplants/internal/core"
 	"vmplants/internal/fault"
+	"vmplants/internal/journal"
 	"vmplants/internal/sim"
 	"vmplants/internal/vmm"
 )
@@ -16,8 +18,10 @@ import (
 // failures. This file is the plant half of that story: Crash models
 // the management daemon dying — its soft state evaporates while the
 // production line's VMs, the host-only switches, and the warehouse
-// references survive on the host — and Recover models the restarted
-// daemon rescanning that host state to rebuild the information system.
+// references survive on the host (the plant's host map) — and Recover
+// models the restarted daemon rescanning that host state to rebuild
+// the information system, cross-checked against the plant's journal
+// when one is attached.
 
 // Down reports whether the plant daemon is crashed. Transports check
 // it before delivering calls.
@@ -32,49 +36,83 @@ func (pl *Plant) Down() bool {
 // disabled.
 func (pl *Plant) Faults() *fault.Registry { return pl.faults }
 
+// SetJournal attaches the plant's event log: lifecycle events are
+// journaled from now on, and Recover replays the log as a cross-check
+// of its host scan — the same durability mechanism the shop and
+// warehouse use, replacing the old copy-on-crash ledger.
+func (pl *Plant) SetJournal(j *journal.Journal) { pl.jnl = j }
+
+// Journal returns the attached journal (nil when none).
+func (pl *Plant) Journal() *journal.Journal { return pl.jnl }
+
+// journalVM appends a vm-created / vm-collected lifecycle event.
+func (pl *Plant) journalVM(p *sim.Proc, id core.VMID, created bool) {
+	if pl.jnl == nil {
+		return
+	}
+	kind := journal.VMCollected
+	if created {
+		kind = journal.VMCreated
+	}
+	pl.jnl.AppendSync(p, journal.Record{
+		Kind: kind, Key: string(id),
+		Fields: map[string]string{"plant": pl.name},
+	})
+}
+
 // Crash simulates the plant daemon dying. Subsequent calls through any
 // transport fail until Recover runs. The VM Information System's
-// classads are lost — they are soft state — while each VM's host-side
-// existence moves to the crash ledger for the restarted daemon to find.
+// classads are lost — they are soft state — while each VM keeps
+// running on the host: nothing is copied anywhere, because the host
+// map was maintained at creation time, not at crash time.
 func (pl *Plant) Crash() {
 	pl.mu.Lock()
-	defer pl.mu.Unlock()
 	if pl.down {
+		pl.mu.Unlock()
 		return
 	}
 	pl.down = true
+	pl.mu.Unlock()
 	for _, id := range pl.info.IDs() {
-		r, _ := pl.info.get(id)
-		r.ad = nil // soft state dies with the daemon
-		pl.ledger[id] = r
+		if r, ok := pl.info.get(id); ok {
+			r.ad = nil // soft state dies with the daemon
+		}
 		pl.info.remove(id)
 	}
 	pl.mCrashes.Inc()
 	pl.gActiveVMs.Set(0)
+	if pl.jnl != nil {
+		// Out-of-kernel observation of the death; the journal's unsynced
+		// tail (none: lifecycle events are synced) dies with the daemon.
+		pl.jnl.Crash()
+		pl.jnl.Append(nil, journal.Record{Kind: journal.PlantCrash, Key: pl.name})
+	}
 }
 
 // Recover restarts a crashed plant daemon: it rescans the host —
 // running VMs, network assignments, image references — and rebuilds
 // the VM Information System record by record, re-deriving each classad
-// from the VM's runtime state. It reports how many records were
-// rebuilt. On a plant that never crashed it is a no-op.
+// from the VM's runtime state. With a journal attached, the log is
+// replayed first and its live set compared with the host scan; any
+// disagreement is surfaced on the plant-recover record. It reports how
+// many records were rebuilt. On a plant that never crashed it is a
+// no-op.
 func (pl *Plant) Recover(p *sim.Proc) (n int) {
 	pl.mu.Lock()
-	if !pl.down && len(pl.ledger) == 0 {
+	if !pl.down {
 		pl.mu.Unlock()
 		return 0
 	}
 	pl.down = false
-	ids := make([]core.VMID, 0, len(pl.ledger))
-	for id := range pl.ledger {
+	ids := make([]core.VMID, 0, len(pl.host))
+	for id := range pl.host {
 		ids = append(ids, id)
 	}
 	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
 	recs := make([]*record, len(ids))
 	for i, id := range ids {
-		recs[i] = pl.ledger[id]
+		recs[i] = pl.host[id]
 	}
-	pl.ledger = make(map[core.VMID]*record)
 	pl.mu.Unlock()
 
 	sp := pl.tel.T().Start(p, "plant.recover").Set("plant", pl.name)
@@ -82,6 +120,38 @@ func (pl *Plant) Recover(p *sim.Proc) (n int) {
 		sp.SetInt("vms", int64(n))
 		sp.End(p)
 	}()
+	// Journal replay: rebuild the set of VMs the log believes live
+	// (created minus collected) to cross-check the host scan.
+	mismatches := 0
+	if pl.jnl != nil {
+		live := make(map[core.VMID]bool)
+		_, _ = pl.jnl.Replay(func(r journal.Record) error {
+			switch r.Kind {
+			case journal.VMCreated:
+				live[core.VMID(r.Key)] = true
+			case journal.VMCollected:
+				delete(live, core.VMID(r.Key))
+			}
+			return nil
+		})
+		for _, id := range ids {
+			if !live[id] {
+				mismatches++
+			}
+		}
+		for id := range live {
+			found := false
+			for _, hid := range ids {
+				if hid == id {
+					found = true
+					break
+				}
+			}
+			if !found {
+				mismatches++
+			}
+		}
+	}
 	// Daemon restart cost: process start plus a host-state scan.
 	p.Sleep(sim.Seconds(0.5 * pl.node.Jitter()))
 	for _, r := range recs {
@@ -93,6 +163,15 @@ func (pl *Plant) Recover(p *sim.Proc) (n int) {
 	}
 	pl.mRecoveries.Inc()
 	pl.gActiveVMs.Set(int64(pl.info.Count()))
+	if pl.jnl != nil {
+		pl.jnl.AppendSync(p, journal.Record{
+			Kind: journal.PlantRecover, Key: pl.name,
+			Fields: map[string]string{
+				"vms":        fmt.Sprint(n),
+				"mismatches": fmt.Sprint(mismatches),
+			},
+		})
+	}
 	return n
 }
 

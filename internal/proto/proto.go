@@ -91,7 +91,11 @@ type Message struct {
 // empty on the client→shop leg; the shop mints it and sets it on the
 // shop→plant leg.
 type CreateRequest struct {
-	VMID      string     `xml:"vmid,omitempty"`
+	VMID string `xml:"vmid,omitempty"`
+	// RequestID is the client's idempotency token (core.Spec.RequestID):
+	// a shop that journaled a committed creation under this token answers
+	// a retransmission with the original VMID instead of building twice.
+	RequestID string     `xml:"request-id,omitempty"`
 	Name      string     `xml:"name"`
 	Arch      string     `xml:"hardware>arch"`
 	MemoryMB  int        `xml:"hardware>memoryMB"`
@@ -113,6 +117,7 @@ func (r *CreateRequest) Spec() (*core.Spec, error) {
 		ProxyAddr:    r.ProxyAddr,
 		Backend:      r.Backend,
 		Requirements: r.Reqs,
+		RequestID:    r.RequestID,
 		Graph:        r.Graph,
 	}
 	if err := s.Validate(); err != nil {
@@ -124,6 +129,7 @@ func (r *CreateRequest) Spec() (*core.Spec, error) {
 // FromSpec builds the wire request from the domain type.
 func FromSpec(s *core.Spec, token string) *CreateRequest {
 	return &CreateRequest{
+		RequestID: s.RequestID,
 		Name:      s.Name,
 		Arch:      s.Hardware.Arch,
 		MemoryMB:  s.Hardware.MemoryMB,

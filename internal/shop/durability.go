@@ -1,0 +1,381 @@
+// Durable shop state: the event-journaled creation protocol and the
+// kill -9 crash/restart cycle.
+//
+// With a journal attached (SetJournal), every creation follows a
+// write-ahead protocol: a creation-intent record is synced before any
+// plant sees the request, and a creation-commit record is synced before
+// the client hears the answer. A shop that dies between the two leaves
+// a durable intent with no commit; Restart replays the journal, then
+// reconciles each open intent against the plants — a VM that was built
+// before the crash is committed retroactively, one that never made it
+// is re-driven through the normal bid/dispatch path under its original
+// VMID. Clients that resubmit a spec with the same RequestID after a
+// crash are answered from the journal (the original VMID) instead of
+// getting a second VM: exactly-once creation across daemon deaths.
+//
+// Without a journal every method here degrades to the legacy soft-state
+// behavior (Restart falls back to the Recover re-scrape), so existing
+// callers see no change.
+package shop
+
+import (
+	"encoding/xml"
+	"errors"
+	"fmt"
+	"sort"
+	"strconv"
+	"strings"
+
+	"vmplants/internal/classad"
+	"vmplants/internal/core"
+	"vmplants/internal/fault"
+	"vmplants/internal/journal"
+	"vmplants/internal/proto"
+	"vmplants/internal/sim"
+)
+
+// ErrShopDown is returned by shop calls while the daemon is killed and
+// not yet restarted. Clients treat it like a connection refused: back
+// off and retry after the daemon returns.
+var ErrShopDown = errors.New("shop daemon down")
+
+// shopSite is the fault-registry site name for shop-level injections.
+const shopSite = "shop"
+
+// intent is one journaled creation not yet known to be closed.
+type intent struct {
+	id        core.VMID
+	req       string // client RequestID ("" when the client sent none)
+	specXML   string // proto.CreateRequest XML, enough to re-drive
+	committed bool
+	plant     string
+}
+
+// SetJournal attaches the shop's durable event log. From now on every
+// creation writes intent/commit records, Destroy writes route-drops,
+// and Restart rebuilds state by replay instead of re-scrape.
+func (s *Shop) SetJournal(j *journal.Journal) {
+	s.jnl = j
+}
+
+// Journal returns the attached journal (nil when none).
+func (s *Shop) Journal() *journal.Journal { return s.jnl }
+
+// Down reports whether the shop daemon is currently dead.
+func (s *Shop) Down() bool { return s.down }
+
+// Kill is kill -9: all soft state — routes, classad cache, breakers,
+// the in-memory intent table — evaporates, the journal loses its
+// unsynced tail, and every call fails with ErrShopDown until Restart.
+func (s *Shop) Kill() {
+	s.down = true
+	s.mCrashes.Inc()
+	s.routes = make(map[core.VMID]PlantHandle)
+	s.cache = make(map[core.VMID]*classad.Ad)
+	s.breakers = make(map[string]*breaker)
+	s.mu.Lock()
+	s.intents = make(map[core.VMID]*intent)
+	s.byReq = make(map[string]core.VMID)
+	s.inflight = make(map[string]int)
+	s.mu.Unlock()
+	if s.jnl != nil {
+		s.jnl.Crash()
+	}
+}
+
+// killIf fires the daemon-kill fault at one of the shop's protocol
+// points ("intent", "commit") and, when it fires, kills the shop.
+func (s *Shop) killIf(op string) bool {
+	if !s.Faults.Should(shopSite, fault.DaemonKill, op) {
+		return false
+	}
+	s.Kill()
+	return true
+}
+
+// RestartStats reports what a restart rebuilt and repaired.
+type RestartStats struct {
+	// Replayed is how many journal records the replay applied.
+	Replayed int
+	// TornTails is how many damaged records the replay truncated.
+	TornTails int
+	// Routes is how many VM routes were rebuilt from commit records.
+	Routes int
+	// Reconciled counts open intents whose VM turned out to exist on a
+	// plant: the crash hit between plant success and the commit record.
+	Reconciled int
+	// Redriven counts open intents whose VM was never built: the crash
+	// hit between the intent record and dispatch. Each was re-driven to
+	// completion under its original VMID.
+	Redriven int
+	// Aborted counts open intents whose re-drive failed permanently.
+	Aborted int
+}
+
+// Restart brings a killed shop back: journal replay rebuilds the route
+// table, the request-dedupe index and the open-intent ledger, then each
+// open intent is reconciled against the world — committed if the VM
+// exists on some plant, re-driven from its journaled spec if not.
+// Without a journal it falls back to the legacy Recover re-scrape.
+func (s *Shop) Restart(p *sim.Proc) (RestartStats, error) {
+	var st RestartStats
+	s.down = false
+	s.mRestarts.Inc()
+	if s.jnl == nil {
+		st.Routes, _ = s.Recover(p)
+		return st, nil
+	}
+	sp := s.tel.T().Start(p, "shop.restart").Set("shop", s.name)
+	defer func() {
+		sp.SetInt("replayed", int64(st.Replayed)).
+			SetInt("reconciled", int64(st.Reconciled)).
+			SetInt("redriven", int64(st.Redriven)).
+			End(p)
+	}()
+	s.routes = make(map[core.VMID]PlantHandle)
+	s.cache = make(map[core.VMID]*classad.Ad)
+	s.mu.Lock()
+	s.intents = make(map[core.VMID]*intent)
+	s.byReq = make(map[string]core.VMID)
+	s.mu.Unlock()
+	byName := make(map[string]PlantHandle, len(s.plants))
+	for _, h := range s.plants {
+		byName[h.Name()] = h
+	}
+	var maxMinted uint64
+	rst, err := s.jnl.Replay(func(r journal.Record) error {
+		id := core.VMID(r.Key)
+		switch r.Kind {
+		case journal.CreationIntent:
+			in := &intent{id: id, req: r.Field("req"), specXML: r.Field("spec")}
+			s.intents[id] = in
+			if in.req != "" {
+				s.byReq[in.req] = id
+			}
+			if n, ok := vmSeq(id, s.name); ok && n > maxMinted {
+				maxMinted = n
+			}
+		case journal.CreationCommit:
+			if in := s.intents[id]; in != nil {
+				in.committed = true
+				in.plant = r.Field("plant")
+			}
+			if h := byName[r.Field("plant")]; h != nil {
+				s.routes[id] = h
+			}
+		case journal.CreationAbort:
+			s.dropIntent(id)
+		case journal.RouteDrop:
+			delete(s.routes, id)
+			s.dropIntent(id)
+		case journal.RouteChange:
+			if h := byName[r.Field("plant")]; h != nil {
+				s.routes[id] = h
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		return st, err
+	}
+	st.Replayed = rst.Records
+	st.TornTails = rst.TornTails
+	st.Routes = len(s.routes)
+	s.mRecoveredRts.Add(int64(len(s.routes)))
+	// The VMID counter must never re-mint an ID that reached the journal;
+	// keep the in-memory counter when it is already ahead.
+	if cur := s.nextID.Load(); maxMinted > cur {
+		s.nextID.Store(maxMinted)
+	}
+	// Reconcile open intents in deterministic (VMID) order.
+	var open []core.VMID
+	for id, in := range s.intents {
+		if !in.committed {
+			open = append(open, id)
+		}
+	}
+	sort.Slice(open, func(i, j int) bool { return open[i] < open[j] })
+	for _, id := range open {
+		in := s.intents[id]
+		if h, ok := s.findVM(p, id); ok {
+			// The plant finished the creation before the crash; only the
+			// commit record was lost. Write it now.
+			s.commitCreation(p, id, h.Name())
+			s.routes[id] = h
+			s.mReconciled.Inc()
+			st.Reconciled++
+			continue
+		}
+		// The intent never produced a VM (the crash hit before dispatch,
+		// or the partial clone died with its fault). Re-drive it under
+		// the original VMID so the client's retry finds it committed.
+		spec, serr := specFromXML(in.specXML)
+		if serr != nil {
+			_ = s.abortCreation(p, id, fmt.Errorf("shop %s: unreplayable intent: %w", s.name, serr))
+			st.Aborted++
+			continue
+		}
+		if _, cerr := s.createAs(p, id, spec); cerr != nil {
+			if errors.Is(cerr, ErrShopDown) {
+				// Killed again mid-reconcile; the next Restart resumes.
+				return st, cerr
+			}
+			st.Aborted++
+			continue
+		}
+		s.mRedrives.Inc()
+		st.Redriven++
+	}
+	return st, nil
+}
+
+// beginCreation is the journaled front half of Create: request
+// deduplication, VMID minting, and the write-ahead intent record. done
+// means Create is finished (a deduped answer, an in-flight duplicate,
+// or a daemon kill) without running the creation machinery.
+func (s *Shop) beginCreation(p *sim.Proc, spec *core.Spec) (id core.VMID, ad *classad.Ad, done bool, err error) {
+	if spec.RequestID != "" && s.jnl != nil {
+		s.mu.Lock()
+		prior, ok := s.byReq[spec.RequestID]
+		var in *intent
+		if ok {
+			in = s.intents[prior]
+		}
+		s.mu.Unlock()
+		if in != nil {
+			if in.committed {
+				// Retransmission of a finished creation: answer with the
+				// original VMID; the classad comes from the routed plant.
+				s.mDedups.Inc()
+				ad, qerr := s.Query(p, prior)
+				return prior, ad, true, qerr
+			}
+			return "", nil, true, fmt.Errorf("shop %s: request %s already in flight", s.name, spec.RequestID)
+		}
+	}
+	id = s.mintID()
+	if s.jnl != nil {
+		f := map[string]string{"name": spec.Name}
+		if spec.RequestID != "" {
+			f["req"] = spec.RequestID
+		}
+		var specXML string
+		if x, merr := xml.Marshal(proto.FromSpec(spec, "")); merr == nil {
+			specXML = string(x)
+			f["spec"] = specXML
+		}
+		s.jnl.AppendSync(p, journal.Record{Kind: journal.CreationIntent, Key: string(id), Fields: f})
+		s.mu.Lock()
+		s.intents[id] = &intent{id: id, req: spec.RequestID, specXML: specXML}
+		if spec.RequestID != "" {
+			s.byReq[spec.RequestID] = id
+		}
+		s.mu.Unlock()
+		if s.killIf("intent") {
+			return "", nil, true, ErrShopDown
+		}
+	}
+	return id, nil, false, nil
+}
+
+// commitCreation closes an intent with its winning plant: the commit
+// record is synced before the caller can answer the client.
+func (s *Shop) commitCreation(p *sim.Proc, id core.VMID, plant string) {
+	if s.jnl != nil {
+		s.jnl.AppendSync(p, journal.Record{
+			Kind: journal.CreationCommit, Key: string(id),
+			Fields: map[string]string{"plant": plant},
+		})
+	}
+	s.mu.Lock()
+	if in := s.intents[id]; in != nil {
+		in.committed = true
+		in.plant = plant
+	}
+	s.mu.Unlock()
+}
+
+// abortCreation closes an intent whose creation failed permanently and
+// returns the error unchanged. Safe because every transient failure
+// path destroys its partial clone before reporting: a failed createAs
+// means no VM exists anywhere under this VMID.
+func (s *Shop) abortCreation(p *sim.Proc, id core.VMID, err error) error {
+	if s.jnl != nil {
+		s.jnl.AppendSync(p, journal.Record{
+			Kind: journal.CreationAbort, Key: string(id),
+			Fields: map[string]string{"reason": err.Error()},
+		})
+	}
+	s.mu.Lock()
+	s.dropIntentLocked(id)
+	s.mu.Unlock()
+	return err
+}
+
+// journalDrop records a VM leaving the routing table (Destroy).
+func (s *Shop) journalDrop(p *sim.Proc, id core.VMID) {
+	if s.jnl != nil {
+		s.jnl.AppendSync(p, journal.Record{Kind: journal.RouteDrop, Key: string(id)})
+	}
+	s.mu.Lock()
+	s.dropIntentLocked(id)
+	s.mu.Unlock()
+}
+
+// dropIntent removes an intent and its dedupe entry (replay path: the
+// mutex is not needed, replay is single-threaded).
+func (s *Shop) dropIntent(id core.VMID) {
+	if in := s.intents[id]; in != nil {
+		if in.req != "" {
+			delete(s.byReq, in.req)
+		}
+		delete(s.intents, id)
+	}
+}
+
+func (s *Shop) dropIntentLocked(id core.VMID) {
+	if in := s.intents[id]; in != nil {
+		if in.req != "" {
+			delete(s.byReq, in.req)
+		}
+		delete(s.intents, id)
+	}
+}
+
+// findVM sweeps the plants for a VM the journal says was intended but
+// not committed — the reconcile probe.
+func (s *Shop) findVM(p *sim.Proc, id core.VMID) (PlantHandle, bool) {
+	for _, h := range s.plants {
+		if _, found, err := h.Query(p, id); err == nil && found {
+			return h, true
+		}
+	}
+	return nil, false
+}
+
+// specFromXML rebuilds a creation spec from a journaled intent's
+// proto.CreateRequest XML.
+func specFromXML(x string) (*core.Spec, error) {
+	if x == "" {
+		return nil, errors.New("intent has no spec")
+	}
+	var cr proto.CreateRequest
+	if err := xml.Unmarshal([]byte(x), &cr); err != nil {
+		return nil, err
+	}
+	return cr.Spec()
+}
+
+// vmSeq extracts the numeric suffix of a "vm-<shop>-<n>" VMID.
+func vmSeq(id core.VMID, shop string) (uint64, bool) {
+	prefix := "vm-" + shop + "-"
+	sid := string(id)
+	if !strings.HasPrefix(sid, prefix) {
+		return 0, false
+	}
+	n, err := strconv.ParseUint(sid[len(prefix):], 10, 64)
+	if err != nil {
+		return 0, false
+	}
+	return n, true
+}

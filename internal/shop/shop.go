@@ -19,6 +19,8 @@ import (
 
 	"vmplants/internal/classad"
 	"vmplants/internal/core"
+	"vmplants/internal/fault"
+	"vmplants/internal/journal"
 	"vmplants/internal/proto"
 	"vmplants/internal/sim"
 	"vmplants/internal/telemetry"
@@ -56,6 +58,20 @@ type Shop struct {
 	// Pipeline tunes the batched creation pipeline (CreateMany).
 	Pipeline PipelineConfig
 
+	// Faults injects shop-level chaos: fault.DaemonKill at site "shop"
+	// with ops "intent" (after the intent record is durable, before
+	// dispatch) and "commit" (after the plant succeeded, before the
+	// commit record lands). nil disables injection.
+	Faults *fault.Registry
+
+	// Durable state (durability.go). jnl is the event journal; down
+	// marks a killed daemon; intents/byReq are the open-creation ledger
+	// and RequestID dedupe index rebuilt by replay.
+	jnl     *journal.Journal
+	down    bool
+	intents map[core.VMID]*intent
+	byReq   map[string]core.VMID
+
 	// mu guards the bid audit log, which out-of-kernel observers (debug
 	// endpoints, tests) read while creations append to it, and the
 	// in-flight creation ledger shared by concurrent pipeline workers.
@@ -79,6 +95,11 @@ type Shop struct {
 	gBatchQueue     *telemetry.Gauge
 	gInflight       *telemetry.Gauge
 	hBatchWait      *telemetry.Histogram
+	mCrashes        *telemetry.Counter
+	mRestarts       *telemetry.Counter
+	mDedups         *telemetry.Counter
+	mRedrives       *telemetry.Counter
+	mReconciled     *telemetry.Counter
 }
 
 // BidRecord is one bidding round's outcome.
@@ -99,6 +120,8 @@ func New(name string, plants []PlantHandle, seed int64) *Shop {
 		cache:    make(map[core.VMID]*classad.Ad),
 		breakers: make(map[string]*breaker),
 		inflight: make(map[string]int),
+		intents:  make(map[core.VMID]*intent),
+		byReq:    make(map[string]core.VMID),
 	}
 }
 
@@ -142,6 +165,11 @@ func (s *Shop) SetTelemetry(h *telemetry.Hub) {
 	s.gBatchQueue = h.Gauge("shop.batch_queue_depth")
 	s.gInflight = h.Gauge("shop.inflight_creates")
 	s.hBatchWait = h.Histogram("shop.batch_wait_secs")
+	s.mCrashes = h.Counter("shop.crashes")
+	s.mRestarts = h.Counter("shop.restarts")
+	s.mDedups = h.Counter("shop.deduped_creates")
+	s.mRedrives = h.Counter("shop.redriven_creates")
+	s.mReconciled = h.Counter("shop.reconciled_creates")
 }
 
 // mintID assigns the next VMID (paper: "a VMShop-assigned unique
@@ -152,12 +180,33 @@ func (s *Shop) mintID() core.VMID {
 }
 
 // Create runs one full creation: validate, collect bids, pick the
-// winner, dispatch, and return the VMID with the classad.
-func (s *Shop) Create(p *sim.Proc, spec *core.Spec) (_ core.VMID, _ *classad.Ad, err error) {
+// winner, dispatch, and return the VMID with the classad. With a
+// journal attached (SetJournal) the creation is exactly-once across
+// daemon deaths: an intent record is synced before dispatch, a commit
+// record before the answer, and a resubmitted RequestID is answered
+// from the journal instead of built twice.
+func (s *Shop) Create(p *sim.Proc, spec *core.Spec) (core.VMID, *classad.Ad, error) {
 	if err := spec.Validate(); err != nil {
 		return "", nil, err
 	}
-	id := s.mintID()
+	if s.down {
+		return "", nil, ErrShopDown
+	}
+	id, ad, done, err := s.beginCreation(p, spec)
+	if done {
+		return id, ad, err
+	}
+	ad, err = s.createAs(p, id, spec)
+	if err != nil {
+		return "", nil, err
+	}
+	return id, ad, nil
+}
+
+// createAs drives the bid/dispatch/failover machinery for an
+// already-minted (and, when journaling, intent-journaled) VMID — the
+// path shared by Create and restart-time intent re-driving.
+func (s *Shop) createAs(p *sim.Proc, id core.VMID, spec *core.Spec) (_ *classad.Ad, err error) {
 	start := p.Now()
 	// The creation span roots a new trace — or joins the caller's (e.g.
 	// a shop-daemon request that arrived with a trace context stamped on
@@ -183,7 +232,7 @@ func (s *Shop) Create(p *sim.Proc, spec *core.Spec) (_ core.VMID, _ *classad.Ad,
 
 	reqAd, err := requestAd(spec)
 	if err != nil {
-		return "", nil, fmt.Errorf("shop %s: bad Requirements: %w", s.name, err)
+		return nil, s.abortCreation(p, id, fmt.Errorf("shop %s: bad Requirements: %w", s.name, err))
 	}
 	for len(candidates) > 0 {
 		// Breaker gate: skip plants whose breaker is open. When every
@@ -209,7 +258,7 @@ func (s *Shop) Create(p *sim.Proc, spec *core.Spec) (_ core.VMID, _ *classad.Ad,
 		bidSp.SetInt("feasible", int64(len(feasible))).End(p)
 		if len(feasible) == 0 {
 			s.logBid(rec)
-			return "", nil, fmt.Errorf("shop %s: no plant can satisfy the request", s.name)
+			return nil, s.abortCreation(p, id, fmt.Errorf("shop %s: no plant can satisfy the request", s.name))
 		}
 		// Dispatch to the cheapest bidder; on a transient failure
 		// (unreachable plant, crash or I/O error mid-creation — the
@@ -229,6 +278,13 @@ func (s *Shop) Create(p *sim.Proc, spec *core.Spec) (_ core.VMID, _ *classad.Ad,
 			ad, err := winner.Create(p, id, spec)
 			retire()
 			if err == nil {
+				// Chaos point: the daemon can die here, after the plant
+				// built the VM but before the commit record lands — the
+				// window Restart's reconcile sweep repairs.
+				if s.killIf("commit") {
+					return nil, ErrShopDown
+				}
+				s.commitCreation(p, id, winner.Name())
 				s.noteSuccess(winner.Name())
 				rec.Winner = winner.Name()
 				s.logBid(rec)
@@ -238,7 +294,7 @@ func (s *Shop) Create(p *sim.Proc, spec *core.Spec) (_ core.VMID, _ *classad.Ad,
 				}
 				sp.Set("winner", winner.Name())
 				s.flight.Record(p, string(id), telemetry.EvCreated, winner.Name())
-				return id, ad, nil
+				return ad, nil
 			}
 			if !errors.Is(err, ErrPlantDown) && !errors.Is(err, core.ErrTransient) {
 				// A plant-internal creation failure (e.g. a configuration
@@ -246,7 +302,7 @@ func (s *Shop) Create(p *sim.Proc, spec *core.Spec) (_ core.VMID, _ *classad.Ad,
 				// outcome, reported to the client: it would fail the same
 				// way on every plant. Only transient failures fail over.
 				s.logBid(rec)
-				return "", nil, fmt.Errorf("shop %s: plant %s: %w", s.name, winner.Name(), err)
+				return nil, s.abortCreation(p, id, fmt.Errorf("shop %s: plant %s: %w", s.name, winner.Name(), err))
 			}
 			s.noteFailure(p.Now(), winner.Name())
 			feasible = withoutBid(feasible, winner)
@@ -257,7 +313,9 @@ func (s *Shop) Create(p *sim.Proc, spec *core.Spec) (_ core.VMID, _ *classad.Ad,
 		// their breaker, or missed the round's deadline).
 	}
 	s.logBid(rec)
-	return "", nil, fmt.Errorf("shop %s: every feasible plant failed to create the VM", s.name)
+	// Safe to abort: every transient failure path destroyed its partial
+	// clone plant-side, so no VM exists anywhere under this VMID.
+	return nil, s.abortCreation(p, id, fmt.Errorf("shop %s: every feasible plant failed to create the VM", s.name))
 }
 
 // bid is one feasible answer from a bidding round.
@@ -460,6 +518,9 @@ func without(hs []PlantHandle, drop PlantHandle) []PlantHandle {
 // Query returns an active VM's classad. Unknown routes trigger
 // recovery: the shop asks every plant, rebuilding its soft state.
 func (s *Shop) Query(p *sim.Proc, id core.VMID) (*classad.Ad, error) {
+	if s.down {
+		return nil, ErrShopDown
+	}
 	if h, ok := s.routes[id]; ok {
 		ad, found, err := h.Query(p, id)
 		if err == nil && found {
@@ -506,8 +567,13 @@ func (s *Shop) recover(p *sim.Proc, id core.VMID) (*classad.Ad, bool) {
 	return nil, false
 }
 
-// Destroy collects a VM.
+// Destroy collects a VM. With a journal attached, a route-drop record
+// makes the departure durable, so a restarted shop neither routes to
+// nor re-drives a VM the client already destroyed.
 func (s *Shop) Destroy(p *sim.Proc, id core.VMID) error {
+	if s.down {
+		return ErrShopDown
+	}
 	h, ok := s.routes[id]
 	if !ok {
 		if _, found := s.recover(p, id); !found {
@@ -521,6 +587,7 @@ func (s *Shop) Destroy(p *sim.Proc, id core.VMID) error {
 	}
 	delete(s.routes, id)
 	delete(s.cache, id)
+	s.journalDrop(p, id)
 	if !found {
 		return fmt.Errorf("shop %s: VM %s no longer exists", s.name, id)
 	}

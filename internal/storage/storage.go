@@ -277,6 +277,46 @@ func (v *Volume) CopyTo(p *sim.Proc, src string, dst *Volume, dstPath string, sc
 	return size, nil
 }
 
+// Append grows (or creates) a plain file by delta bytes, paying the
+// device's write cost for the appended bytes only — the I/O shape of an
+// append-only log flush, where each fsync writes the new suffix rather
+// than rewriting the file. Links cannot be appended to. A nil proc
+// records the growth without charging (setup-time appends outside the
+// kernel). The new size is returned.
+func (v *Volume) Append(p *sim.Proc, path string, delta int64, scale float64) (int64, error) {
+	if delta < 0 {
+		return 0, fmt.Errorf("storage: negative append to %q", path)
+	}
+	e := v.files[path] // zero value: creating the file
+	if e.linkTo != "" || e.foreign != nil {
+		return 0, fmt.Errorf("storage: %s: append to link %q", v.name, path)
+	}
+	if p != nil {
+		v.dev.transfer(p, delta, scale)
+	}
+	e.size += delta
+	v.files[path] = e
+	return e.size, nil
+}
+
+// Truncate shrinks a plain file to the given size — how a journal
+// replay discards a torn tail. Metadata-only: no device cost.
+func (v *Volume) Truncate(path string, size int64) error {
+	e, ok := v.files[path]
+	if !ok {
+		return fmt.Errorf("storage: %s: truncate of missing %q", v.name, path)
+	}
+	if e.linkTo != "" || e.foreign != nil {
+		return fmt.Errorf("storage: %s: truncate of link %q", v.name, path)
+	}
+	if size < 0 || size > e.size {
+		return fmt.Errorf("storage: %s: truncate %q to %d (size %d)", v.name, path, size, e.size)
+	}
+	e.size = size
+	v.files[path] = e
+	return nil
+}
+
 // Charge pays the device cost of moving size bytes without touching the
 // namespace — for operations whose file bookkeeping happens elsewhere
 // (e.g. a warehouse publish whose entries the warehouse itself records).

@@ -1,0 +1,114 @@
+package warehouse
+
+import (
+	"testing"
+
+	"vmplants/internal/journal"
+	"vmplants/internal/storage"
+)
+
+func testJournal(t *testing.T) *journal.Journal {
+	t.Helper()
+	vol := storage.NewVolume("whlog", storage.NewDevice("whlog-disk", 8<<20, 0))
+	return journal.Open(vol, "journal/warehouse")
+}
+
+// Regression (quarantine amnesia): before the journal, a warehouse
+// daemon restart forgot the quarantine set, so a corrupted image it had
+// already taken out of service became matchable again. This test pins
+// the broken behavior of a journal-less restart — it is the failure
+// mode the journaled path below exists to fix.
+func TestRestartWithoutJournalForgetsQuarantine(t *testing.T) {
+	w := newWarehouse()
+	im := seedImage(t, w, "amnesia")
+	if !w.Quarantine(im.Name, "scrub: checksum mismatch") {
+		t.Fatal("quarantine refused")
+	}
+
+	st := w.Restart()
+	if st.Replayed != 0 || st.QuarantineRestored != 0 {
+		t.Fatalf("journal-less restart replayed state: %+v", st)
+	}
+	if w.IsQuarantined(im.Name) {
+		t.Fatal("quarantine survived without a journal — amnesia fixed at the wrong layer?")
+	}
+	// The amnesia in one line: the suspect image is matchable again.
+	if got := len(w.Candidates(BackendVMware)); got != 1 {
+		t.Fatalf("candidates = %d, want 1 (quarantined image visible again)", got)
+	}
+}
+
+// The fix: with a journal attached, a quarantined image stays
+// matcher-invisible across a daemon restart.
+func TestQuarantineSurvivesRestart(t *testing.T) {
+	w := newWarehouse()
+	w.SetJournal(testJournal(t))
+	good := seedImage(t, w, "clean")
+	bad := seedImage(t, w, "suspect")
+	if !w.Quarantine(bad.Name, "scrub: checksum mismatch on extent 0") {
+		t.Fatal("quarantine refused")
+	}
+	epochBefore := bad.Epoch()
+
+	st := w.Restart()
+	if st.QuarantineRestored != 1 {
+		t.Fatalf("QuarantineRestored = %d, want 1 (stats %+v)", st.QuarantineRestored, st)
+	}
+	if st.CatalogMismatch != 0 {
+		t.Fatalf("CatalogMismatch = %d, want 0", st.CatalogMismatch)
+	}
+	if !w.IsQuarantined(bad.Name) {
+		t.Fatal("quarantine lost across restart")
+	}
+	if reason, _ := w.QuarantineReason(bad.Name); reason != "scrub: checksum mismatch on extent 0" {
+		t.Fatalf("quarantine reason = %q", reason)
+	}
+	if bad.Epoch() <= epochBefore {
+		t.Fatal("integrity epoch did not advance on restore: stale clone contexts would verify")
+	}
+	cands := w.Candidates(BackendVMware)
+	if len(cands) != 1 || cands[0].ID != good.Name {
+		t.Fatalf("candidates = %v, want only %q", cands, good.Name)
+	}
+
+	// A repair after the restart clears it for good: a second restart
+	// replays enter followed by exit and restores nothing.
+	if !w.Unquarantine(bad.Name) {
+		t.Fatal("unquarantine refused")
+	}
+	st = w.Restart()
+	if st.QuarantineRestored != 0 {
+		t.Fatalf("QuarantineRestored = %d after repair, want 0", st.QuarantineRestored)
+	}
+	if got := len(w.Candidates(BackendVMware)); got != 2 {
+		t.Fatalf("candidates = %d after repair+restart, want 2", got)
+	}
+}
+
+// A retired image's quarantine entry must not be resurrected, and the
+// journal's publish/retire history must agree with the volume catalog.
+func TestRestartSkipsRetiredImages(t *testing.T) {
+	w := newWarehouse()
+	w.SetJournal(testJournal(t))
+	parent := seedImage(t, w, "parent")
+	der := derivedOf(t, parent, "derived", "gcc")
+	if err := w.PublishDerived(der, 0); err != nil {
+		t.Fatal(err)
+	}
+	if !w.Quarantine(der.Name, "scrub: unrepairable") {
+		t.Fatal("quarantine refused")
+	}
+	// The scrubber's give-up path: retire the unrepairable derived image.
+	w.unregister(der)
+
+	st := w.Restart()
+	if st.QuarantineRestored != 0 {
+		t.Fatalf("QuarantineRestored = %d, want 0 (image retired)", st.QuarantineRestored)
+	}
+	if st.CatalogMismatch != 0 {
+		t.Fatalf("CatalogMismatch = %d, want 0", st.CatalogMismatch)
+	}
+	if w.IsQuarantined(der.Name) {
+		t.Fatal("retired image resurrected into quarantine")
+	}
+}

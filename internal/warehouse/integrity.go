@@ -8,6 +8,7 @@ import (
 
 	"vmplants/internal/core"
 	"vmplants/internal/fault"
+	"vmplants/internal/journal"
 	"vmplants/internal/storage"
 )
 
@@ -189,6 +190,7 @@ func (w *Warehouse) Quarantine(name, reason string) bool {
 	w.gCacheSize.Set(int64(w.cache.order.Len()))
 	w.mQuarantines.Inc()
 	w.gQuarantine.Set(int64(n))
+	w.journalEvent(journal.QuarantineEnter, name, map[string]string{"reason": reason})
 	return true
 }
 
@@ -208,6 +210,7 @@ func (w *Warehouse) Unquarantine(name string) bool {
 	}
 	w.cache.drop(name)
 	w.gQuarantine.Set(int64(n))
+	w.journalEvent(journal.QuarantineExit, name, nil)
 	return true
 }
 

@@ -22,6 +22,7 @@ import (
 	"vmplants/internal/core"
 	"vmplants/internal/dag"
 	"vmplants/internal/fault"
+	"vmplants/internal/journal"
 	"vmplants/internal/match"
 	"vmplants/internal/storage"
 	"vmplants/internal/telemetry"
@@ -277,6 +278,11 @@ type Warehouse struct {
 	// quarantine maps out-of-service image names to the reason they
 	// were pulled. qmu covers it (and repairFails) for out-of-kernel
 	// observers like debug endpoints; all mutation happens in-kernel.
+	// jnl, when attached, receives catalog and quarantine events
+	// (durability.go); Restart replays it to rebuild the quarantine
+	// set a daemon death would otherwise forget.
+	jnl *journal.Journal
+
 	qmu         sync.Mutex
 	quarantine  map[string]string
 	repairFails map[string]int
@@ -488,6 +494,7 @@ func (w *Warehouse) Publish(im *Image) error {
 	w.register(im, configBytes+im.Disk.RedoBytes()+im.MemImageBytes()+
 		extent*int64(DiskSpanFiles)+int64(len(blob)))
 	w.mirror(im)
+	w.journalEvent(journal.ImagePublish, im.Name, map[string]string{"origin": "seed"})
 	if w.faults.Should(integritySite, fault.TornWrite, "publish") {
 		w.corruptPath(im.RedoPath)
 	}
@@ -566,6 +573,8 @@ func (w *Warehouse) PublishDerived(im *Image, now time.Duration) error {
 	parent.Ref()
 	im.lastUsed = now
 	w.register(im, need)
+	w.journalEvent(journal.ImagePublish, im.Name,
+		map[string]string{"origin": "derived", "parent": im.Parent})
 	if w.faults.Should(integritySite, fault.TornWrite, "publish") {
 		w.corruptPath(im.RedoPath)
 	}
@@ -671,6 +680,7 @@ func (w *Warehouse) unregister(im *Image) {
 	w.gImages.Set(int64(len(w.images)))
 	w.gDerived.Set(int64(w.DerivedCount()))
 	w.gBytesUsed.Set(w.bytesUsed)
+	w.journalEvent(journal.ImageRetire, im.Name, nil)
 }
 
 // Lookup returns a published image.

@@ -46,4 +46,9 @@ if [ "${CHECK_SHORT:-0}" != "1" ]; then
     # tree crossing all three layers with a complete flight timeline,
     # SLOs must hold, and same-seed reruns are byte-identical.
     go run ./cmd/vmbench -exp slo -series smoke >/dev/null
+    # Crash-restart smoke: daemons killed at the write-ahead protocol's
+    # worst instants must still yield exactly-once creations, a
+    # journal-rebuilt route table, and a quarantine set that survives
+    # the warehouse restart, byte-identically across same-seed reruns.
+    go run ./cmd/vmbench -exp restart -series smoke >/dev/null
 fi
