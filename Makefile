@@ -4,7 +4,7 @@ GO ?= go
 STATICCHECK_VERSION ?= 2024.1.1
 STATICCHECK ?= staticcheck
 
-.PHONY: build test race vet lint check bench chaos pipeline warm scrub slo restart
+.PHONY: build test race vet lint check bench chaos pipeline warm scrub slo restart federation
 
 build:
 	$(GO) build ./...
@@ -81,3 +81,11 @@ slo:
 # quarantine survives, and a same-seed rerun is byte-identical.
 restart:
 	$(GO) run ./cmd/vmbench -exp restart -series smoke
+
+# federation is the multi-shop smoke: 3 shops of 6 plants each must
+# serve a skewed create-hold-destroy stream at >= 2.5x the goodput of 1
+# shop of 6 plants, with hierarchical forwards exactly-once across a
+# mid-run shop kill, catalog gossip cloning a derived image warm in
+# another cell, and byte-identical same-seed reruns.
+federation:
+	$(GO) run ./cmd/vmbench -exp federation -series smoke

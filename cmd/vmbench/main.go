@@ -10,10 +10,12 @@
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"log"
 	"os"
+	"path/filepath"
 	"sort"
 	"strings"
 
@@ -25,10 +27,11 @@ import (
 
 func main() {
 	var (
-		exp      = flag.String("exp", "all", "experiment: all, fig4, fig5, fig6, copy, uml, cost, overhead, anatomy, trace, ablations, extensions, chaos, pipeline, warm, scrub, slo, restart")
-		seed     = flag.Int64("seed", 42, "random seed")
-		series   = flag.String("series", "paper", "request series scale: paper or smoke")
-		traceOut = flag.String("trace", "", "write the trace experiment's spans as JSONL — or the slo experiment's spans as Chrome trace-event JSON — to this file")
+		exp       = flag.String("exp", "all", "experiment: all, fig4, fig5, fig6, copy, uml, cost, overhead, anatomy, trace, ablations, extensions, chaos, pipeline, warm, scrub, slo, restart, federation")
+		seed      = flag.Int64("seed", 42, "random seed")
+		series    = flag.String("series", "paper", "request series scale: paper or smoke")
+		traceOut  = flag.String("trace", "", "write the trace experiment's spans as JSONL — or the slo experiment's spans as Chrome trace-event JSON — to this file")
+		artifacts = flag.String("artifacts", "", "directory to dump journal segments and Chrome traces into (CI uploads it when an experiment gate fails)")
 	)
 	flag.Parse()
 
@@ -387,6 +390,45 @@ func main() {
 					res.Succeeded, res.Requests, res.Lost, res.Duplicated, res.ShopKills, res.QuarantineSurvived, reproducible)
 			}
 		},
+		"federation": func() {
+			opts := workload.FederationOptions{}
+			if *series == "smoke" {
+				opts = workload.SmokeFederationOptions()
+			}
+			res, err := workload.RunFederation(*seed, opts)
+			if err != nil {
+				log.Fatalf("vmbench: %v", err)
+			}
+			header("Federation: multi-shop control plane with hierarchical bidding")
+			for _, line := range res.Report() {
+				fmt.Println(line)
+			}
+			again, err := workload.RunFederation(*seed, opts)
+			if err != nil {
+				log.Fatalf("vmbench: %v", err)
+			}
+			reproducible := again.Fingerprint == res.Fingerprint
+			fmt.Printf("\nsame-seed rerun byte-identical: %v\n", reproducible)
+			if *artifacts != "" {
+				if err := dumpFederationArtifacts(*artifacts, res); err != nil {
+					log.Fatalf("vmbench: artifacts: %v", err)
+				}
+				fmt.Printf("artifacts written to %s\n", *artifacts)
+			}
+			// The federation must serve the entire offered stream; the
+			// single shop is allowed to shed load (that is the point),
+			// but must serve something or the ratio is meaningless.
+			if res.FederatedSucceeded != res.ThroughputRequests || res.BaselineSucceeded == 0 ||
+				res.Succeeded != res.Requests || res.Speedup < 2.5 || res.Forwarded == 0 ||
+				res.Lost != 0 || res.Duplicated != 0 || res.ShopKills == 0 ||
+				!res.GossipOK || !res.WarmCloneOK || !reproducible {
+				log.Fatalf("vmbench: federation run failed its invariants (stream: base %d/%d, fed %d/%d; integrity %d/%d; speedup %.2fx < 2.5, forwarded %d, lost %d, dup %d, kills %d, gossip %v, warm clone %v, reproducible %v)",
+					res.BaselineSucceeded, res.ThroughputRequests,
+					res.FederatedSucceeded, res.ThroughputRequests,
+					res.Succeeded, res.Requests, res.Speedup, res.Forwarded, res.Lost,
+					res.Duplicated, res.ShopKills, res.GossipOK, res.WarmCloneOK, reproducible)
+			}
+		},
 		"ablations": func() {
 			a1, err := workload.RunAblationNoPartialMatch(*seed, 4)
 			if err != nil {
@@ -411,7 +453,7 @@ func main() {
 		},
 	}
 
-	order := []string{"fig4", "fig5", "fig6", "copy", "uml", "cost", "overhead", "anatomy", "trace", "ablations", "extensions", "chaos", "pipeline", "warm", "scrub", "slo", "restart"}
+	order := []string{"fig4", "fig5", "fig6", "copy", "uml", "cost", "overhead", "anatomy", "trace", "ablations", "extensions", "chaos", "pipeline", "warm", "scrub", "slo", "restart", "federation"}
 	switch *exp {
 	case "all":
 		for _, name := range order {
@@ -428,4 +470,43 @@ func main() {
 
 func header(title string) {
 	fmt.Printf("\n===== %s =====\n\n", title)
+}
+
+// dumpFederationArtifacts writes the run's per-cell journal records and
+// its full span set as a Chrome trace into dir, so a red CI matrix job
+// can upload them and stay debuggable without a local repro.
+func dumpFederationArtifacts(dir string, res *workload.FederationResult) error {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return err
+	}
+	cells := make([]string, 0, len(res.Journals))
+	for cell := range res.Journals {
+		cells = append(cells, cell)
+	}
+	sort.Strings(cells)
+	for _, cell := range cells {
+		f, err := os.Create(filepath.Join(dir, "journal-"+cell+".jsonl"))
+		if err != nil {
+			return err
+		}
+		enc := json.NewEncoder(f)
+		for _, rec := range res.Journals[cell] {
+			if err := enc.Encode(rec); err != nil {
+				f.Close()
+				return err
+			}
+		}
+		if err := f.Close(); err != nil {
+			return err
+		}
+	}
+	f, err := os.Create(filepath.Join(dir, "trace.json"))
+	if err != nil {
+		return err
+	}
+	if err := telemetry.WriteChromeTrace(f, res.Spans); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
 }

@@ -72,6 +72,8 @@ func main() {
 		doScrub(args[1:])
 	case "journal":
 		doJournal(args[1:])
+	case "federation":
+		doFederation(args[1:])
 	case "publish":
 		if len(args) < 3 {
 			usage()
@@ -84,7 +86,7 @@ func main() {
 }
 
 func usage() {
-	fmt.Fprintln(os.Stderr, "usage: vmctl [-shop addr] create [-spec file | -example] | query <vmid> | destroy <vmid> | suspend <vmid> | resume <vmid> | publish <vmid> <image> | ping | dot [-spec file] | stats [-debug addr] [-traces n] | trace <vmid> [-debug addr,addr...] | queue [-debug addr,addr...] | warehouse [-debug addr,addr...] | scrub [-debug addr,addr...] | journal [-debug addr,addr...] [-n k] [-verify]")
+	fmt.Fprintln(os.Stderr, "usage: vmctl [-shop addr] create [-spec file | -example] | query <vmid> | destroy <vmid> | suspend <vmid> | resume <vmid> | publish <vmid> <image> | ping | dot [-spec file] | stats [-debug addr] [-traces n] | trace <vmid> [-debug addr,addr...] | queue [-debug addr,addr...] | warehouse [-debug addr,addr...] | scrub [-debug addr,addr...] | journal [-debug addr,addr...] [-n k] [-verify] | federation [-debug addr,addr...]")
 	os.Exit(2)
 }
 
@@ -538,6 +540,59 @@ func doJournal(args []string) {
 	}
 	if bad > 0 {
 		log.Fatalf("vmctl: %d journal records failed checksum verification", bad)
+	}
+}
+
+// doFederation summarizes each shop daemon's federation state from its
+// /debug/federation endpoint: the cell's peers, cross-cell forwarding
+// routes, and the forwarding counters from /metrics.
+func doFederation(args []string) {
+	fs := flag.NewFlagSet("federation", flag.ExitOnError)
+	debugAddrs := fs.String("debug", "localhost:7070", "comma-separated shop daemon debug HTTP addresses")
+	fs.Parse(args)
+
+	counters := []string{
+		"shop.peer_bid_rounds",
+		"shop.forwarded_creates",
+		"shop.forward_failures",
+		"shop.served_forwards",
+	}
+	for _, addr := range strings.Split(*debugAddrs, ",") {
+		addr = strings.TrimSpace(addr)
+		if addr == "" {
+			continue
+		}
+		body, err := httpGet(fmt.Sprintf("http://%s/debug/federation", addr))
+		if err != nil {
+			fmt.Printf("%s: no federation state (%v)\n", addr, err)
+			continue
+		}
+		var st struct {
+			Shop      string `json:"shop"`
+			Peers     []string
+			Forwarded []struct {
+				LocalID  string `json:"local_id"`
+				Peer     string `json:"peer"`
+				RemoteID string `json:"remote_id"`
+			} `json:"forwarded"`
+		}
+		if err := json.Unmarshal(body, &st); err != nil {
+			log.Fatalf("vmctl: bad /debug/federation response from %s: %v", addr, err)
+		}
+		fmt.Printf("%s: cell %q, peers %s\n", addr, st.Shop, strings.Join(st.Peers, ","))
+		for _, f := range st.Forwarded {
+			fmt.Printf("  %s -> %s as %s\n", f.LocalID, f.Peer, f.RemoteID)
+		}
+		if body, err := httpGet(fmt.Sprintf("http://%s/metrics", addr)); err == nil {
+			var snap map[string]any
+			if json.Unmarshal(body, &snap) == nil {
+				for _, n := range counters {
+					if v, ok := snap[n]; ok {
+						fmt.Printf("  %-26s %v\n", n, v)
+					}
+				}
+			}
+		}
 	}
 }
 

@@ -39,6 +39,7 @@ func main() {
 	var (
 		listen   = flag.String("listen", ":7001", "plant service listen address")
 		name     = flag.String("name", "plant0", "plant name")
+		cell     = flag.String("cell", "", "federation cell this plant serves (prefixes the plant name, e.g. cellA/plant0)")
 		seed     = flag.Int64("seed", 1, "substrate random seed")
 		maxVMs   = flag.Int("maxvms", 32, "maximum hosted VMs (0 = unlimited)")
 		networks = flag.Int("networks", 4, "host-only network pool size")
@@ -60,6 +61,11 @@ func main() {
 	model, err := cost.ByName(*costName)
 	if err != nil {
 		log.Fatalf("vmplantd: %v", err)
+	}
+	if *cell != "" {
+		// Cell-qualified names keep plants distinct when several cells
+		// run the same node naming scheme (node00, node01, …).
+		*name = *cell + "/" + *name
 	}
 	hub := telemetry.New()
 	// Distinct per-instance ID bases keep cross-process span merges

@@ -8,10 +8,12 @@
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"log"
 	"net"
+	"net/http"
 	"strings"
 	"time"
 
@@ -29,6 +31,8 @@ func main() {
 	var (
 		listen  = flag.String("listen", ":7000", "shop service listen address")
 		plants  = flag.String("plants", "", "comma-separated name=addr plant endpoints")
+		cell    = flag.String("cell", "shop", "federation cell name (the shop's identity)")
+		peers   = flag.String("peers", "", "comma-separated name=addr peer shop endpoints for hierarchical bidding")
 		seed    = flag.Int64("seed", 1, "tie-break random seed")
 		timeout = flag.Duration("timeout", 30*time.Second, "per-plant call timeout")
 		cache   = flag.Bool("cache", true, "cache classads to serve queries when plants are down")
@@ -40,7 +44,7 @@ func main() {
 	hub := telemetry.New()
 	// Span IDs minted here must never collide with the plant daemons'
 	// when vmctl merges /debug/creation payloads across processes.
-	hub.T().SetIDBase(telemetry.IDBaseForInstance("shop"))
+	hub.T().SetIDBase(telemetry.IDBaseForInstance(*cell))
 	var handles []shop.PlantHandle
 	for _, pair := range strings.Split(*plants, ",") {
 		pair = strings.TrimSpace(pair)
@@ -57,9 +61,25 @@ func main() {
 		log.Fatal("vmshopd: no plants configured (-plants name=addr,...)")
 	}
 
-	s := shop.New("shop", handles, *seed)
+	s := shop.New(*cell, handles, *seed)
 	s.CacheAds = *cache
 	s.SetTelemetry(hub)
+	var peerHandles []shop.PeerHandle
+	for _, pair := range strings.Split(*peers, ",") {
+		pair = strings.TrimSpace(pair)
+		if pair == "" {
+			continue
+		}
+		name, addr, ok := strings.Cut(pair, "=")
+		if !ok {
+			log.Fatalf("vmshopd: bad peer %q (want name=addr)", pair)
+		}
+		if name == *cell {
+			log.Fatalf("vmshopd: peer %q is this cell", name)
+		}
+		peerHandles = append(peerHandles, &service.RemotePeer{PeerName: name, Addr: addr, Timeout: *timeout, Telemetry: hub})
+	}
+	s.SetPeers(peerHandles)
 	k := sim.NewKernel()
 	k.SetTelemetry(hub)
 	runner := service.NewRunner(k)
@@ -84,17 +104,21 @@ func main() {
 		if jnl != nil {
 			mux.Handle("/debug/journal", jnl.DebugHandler())
 		}
+		mux.HandleFunc("/debug/federation", func(w http.ResponseWriter, _ *http.Request) {
+			w.Header().Set("Content-Type", "application/json")
+			_ = json.NewEncoder(w).Encode(s.Federation())
+		})
 		addr, err := telemetry.Serve(*debug, mux)
 		if err != nil {
 			log.Fatalf("vmshopd: %v", err)
 		}
-		log.Printf("debug endpoints on http://%s/metrics, /debug/traces, /debug/creation/<id>, /debug/health and /debug/journal", addr)
+		log.Printf("debug endpoints on http://%s/metrics, /debug/traces, /debug/creation/<id>, /debug/health, /debug/journal and /debug/federation", addr)
 	}
 
 	l, err := net.Listen("tcp", *listen)
 	if err != nil {
 		log.Fatalf("vmshopd: listen: %v", err)
 	}
-	fmt.Printf("vmshopd serving on %s with %d plants\n", l.Addr(), len(handles))
+	fmt.Printf("vmshopd cell %q serving on %s with %d plants, %d peers\n", *cell, l.Addr(), len(handles), len(peerHandles))
 	proto.Serve(l, service.NewShopHandler(runner, s))
 }

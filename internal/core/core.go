@@ -122,6 +122,11 @@ type Spec struct {
 	// creation's VMID instead of building a second VM. Empty disables
 	// deduplication (every submission is a fresh request).
 	RequestID string
+	// Origin names the shop cell that re-auctioned this request across
+	// the federation; empty means the request came straight from a
+	// client. A forwarded request is never forwarded again (one-hop
+	// hierarchy), so cells cannot bounce a creation between themselves.
+	Origin string
 	// Graph is the configuration DAG.
 	Graph *dag.Graph
 }

@@ -50,6 +50,12 @@ const (
 	CreationCommit Kind = "creation-commit"
 	// CreationAbort closes an intent whose creation failed permanently.
 	CreationAbort Kind = "creation-abort"
+	// CreationForward closes an intent that was re-auctioned to a peer
+	// shop: the VM lives in another cell under the peer's own VMID. The
+	// record carries the peer's name and the remote VMID, so replay
+	// rebuilds the cross-cell forwarding table the way commits rebuild
+	// local routes.
+	CreationForward Kind = "creation-forward"
 	// ImagePublish records a (seed or derived) image entering the
 	// warehouse catalog.
 	ImagePublish Kind = "image-publish"
@@ -60,8 +66,12 @@ const (
 	QuarantineEnter Kind = "quarantine-enter"
 	// QuarantineExit returns a repaired image to service.
 	QuarantineExit Kind = "quarantine-exit"
-	// RouteChange records a VM's route moving (currently unused by the
-	// shop, which derives routes from commits; kept for migrations).
+	// RouteChange records a VM's route moving or being re-learned. The
+	// record's "endpoint" field says what kind of endpoint now serves
+	// the VM — "plant" (default when absent, for records written before
+	// federation) or "peer" for a peer shop in another cell, in which
+	// case "peer" names the shop and "remote" carries the VMID the peer
+	// knows the VM by.
 	RouteChange Kind = "route-change"
 	// RouteDrop records a VM leaving the shop's routing table (destroy).
 	RouteDrop Kind = "route-drop"
@@ -74,6 +84,18 @@ const (
 	VMCreated Kind = "vm-created"
 	// VMCollected records a VM leaving a plant (collect or migration).
 	VMCollected Kind = "vm-collected"
+)
+
+// Endpoint kinds carried in a route-change record's "endpoint" field.
+// Records written before federation carry no endpoint field; readers
+// treat that as EndpointPlant.
+const (
+	// EndpointPlant marks a route served by a local plant.
+	EndpointPlant = "plant"
+	// EndpointPeer marks a route served by a peer shop in another cell
+	// (the record's "peer" field names it, "remote" carries the VMID
+	// the peer knows the VM by).
+	EndpointPeer = "peer"
 )
 
 // Record is one journal entry. Key is the record's primary subject — a

@@ -285,10 +285,16 @@ func (pl *Plant) CreationLog() []CreateStats {
 	return append([]CreateStats(nil), pl.creations...)
 }
 
-// view snapshots the plant for the cost model.
+// view snapshots the plant for the cost model. In-flight creations
+// count against capacity: a bid must price the plant as it will be when
+// the order lands, or a concurrent burst wins slots that are already
+// spoken for.
 func (pl *Plant) view(domain string) cost.PlantView {
+	pl.mu.Lock()
+	creating := pl.creating
+	pl.mu.Unlock()
 	return cost.PlantView{
-		VMs:              pl.info.Count(),
+		VMs:              pl.info.Count() + creating,
 		MaxVMs:           pl.cfg.MaxVMs,
 		FreeMemoryMB:     pl.node.FreeMB(),
 		DomainHasNetwork: pl.nets.HasDomain(domain),
@@ -400,7 +406,11 @@ func (pl *Plant) Create(p *sim.Proc, id core.VMID, spec *core.Spec) (_ *classad.
 		pl.mu.Lock()
 		if pl.info.Count()+pl.creating >= pl.cfg.MaxVMs {
 			pl.mu.Unlock()
-			return nil, fmt.Errorf("plant %s: at VM capacity (%d)", pl.name, pl.cfg.MaxVMs)
+			// Transient: the winning bid raced another order into the
+			// last slot. The shop fails over to its next bidder — or, in
+			// a federation, re-auctions among peer cells — instead of
+			// reporting a dead-end to the client.
+			return nil, fmt.Errorf("plant %s: %w: at VM capacity (%d)", pl.name, core.ErrTransient, pl.cfg.MaxVMs)
 		}
 		pl.creating++
 		pl.mu.Unlock()

@@ -1,0 +1,79 @@
+package proto
+
+import (
+	"testing"
+
+	"vmplants/internal/classad"
+)
+
+// A forwarded creation crosses cells carrying its origin and the
+// forwarding token; both must survive the wire, or the peer's dedupe
+// journal and the one-hop guard stop working.
+func TestForwardCreateRoundTrip(t *testing.T) {
+	m := sampleCreate(t)
+	m.Kind = KindForwardCreateRequest
+	m.Create.Origin = "cellA"
+	m.Create.RequestID = "fwd-cellA-vm-cellA-7"
+	m.ForwardCreate = &ForwardCreateRequest{Origin: "cellA", Create: m.Create}
+	m.Create = nil
+	blob, err := Marshal(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	back, err := Unmarshal(blob)
+	if err != nil {
+		t.Fatalf("unmarshal: %v\n%s", err, blob)
+	}
+	if back.Kind != KindForwardCreateRequest || back.ForwardCreate == nil {
+		t.Fatalf("envelope = %+v", back)
+	}
+	if back.ForwardCreate.Origin != "cellA" {
+		t.Errorf("origin = %q", back.ForwardCreate.Origin)
+	}
+	spec, err := back.ForwardCreate.Create.Spec()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if spec.Origin != "cellA" || spec.RequestID != "fwd-cellA-vm-cellA-7" {
+		t.Errorf("spec lost federation fields: origin=%q req=%q", spec.Origin, spec.RequestID)
+	}
+	if spec.Graph.Len() != 2 {
+		t.Errorf("graph lost: %s", spec.Graph)
+	}
+}
+
+// The probe variant is a non-creating lookup: no embedded create
+// request, just the token; the response carries the verdict.
+func TestForwardProbeRoundTrip(t *testing.T) {
+	m := &Message{Kind: KindForwardCreateRequest, Seq: 9,
+		ForwardCreate: &ForwardCreateRequest{Origin: "cellA", Probe: true, Token: "fwd-cellA-vm-cellA-7"}}
+	blob, err := Marshal(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	back, err := Unmarshal(blob)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !back.ForwardCreate.Probe || back.ForwardCreate.Token != "fwd-cellA-vm-cellA-7" || back.ForwardCreate.Create != nil {
+		t.Errorf("probe = %+v", back.ForwardCreate)
+	}
+
+	resp := &Message{Kind: KindForwardCreateResponse, Seq: 9,
+		ForwardCreated: &ForwardCreateResponse{VMID: "vm-cellB-3", Found: true,
+			Ad: classad.New().SetString("VMID", "vm-cellB-3")}}
+	blob, err = Marshal(resp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	back, err = Unmarshal(blob)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.ForwardCreated.VMID != "vm-cellB-3" || !back.ForwardCreated.Found {
+		t.Errorf("response = %+v", back.ForwardCreated)
+	}
+	if back.ForwardCreated.Ad.GetString("VMID", "") != "vm-cellB-3" {
+		t.Errorf("classad lost: %s", back.ForwardCreated.Ad)
+	}
+}

@@ -29,62 +29,66 @@ type Kind string
 
 // Message kinds.
 const (
-	KindCreateRequest        Kind = "create-request"
-	KindCreateResponse       Kind = "create-response"
-	KindBatchCreateRequest   Kind = "batch-create-request"
-	KindBatchCreateResponse  Kind = "batch-create-response"
-	KindQueryRequest         Kind = "query-request"
-	KindQueryResponse        Kind = "query-response"
-	KindDestroyRequest       Kind = "destroy-request"
-	KindDestroyResponse      Kind = "destroy-response"
-	KindEstimateRequest      Kind = "estimate-request"
-	KindEstimateResponse     Kind = "estimate-response"
-	KindPublishRequest       Kind = "publish-request"
-	KindPublishResponse      Kind = "publish-response"
-	KindPublishImageRequest  Kind = "publish-image-request"
-	KindPublishImageResponse Kind = "publish-image-response"
-	KindLifecycleRequest     Kind = "lifecycle-request"
-	KindLifecycleResponse    Kind = "lifecycle-response"
-	KindListRequest          Kind = "list-request"
-	KindListResponse         Kind = "list-response"
-	KindPingRequest          Kind = "ping-request"
-	KindPingResponse         Kind = "ping-response"
-	KindError                Kind = "error"
+	KindCreateRequest         Kind = "create-request"
+	KindCreateResponse        Kind = "create-response"
+	KindBatchCreateRequest    Kind = "batch-create-request"
+	KindBatchCreateResponse   Kind = "batch-create-response"
+	KindQueryRequest          Kind = "query-request"
+	KindQueryResponse         Kind = "query-response"
+	KindDestroyRequest        Kind = "destroy-request"
+	KindDestroyResponse       Kind = "destroy-response"
+	KindEstimateRequest       Kind = "estimate-request"
+	KindEstimateResponse      Kind = "estimate-response"
+	KindForwardCreateRequest  Kind = "forward-create-request"
+	KindForwardCreateResponse Kind = "forward-create-response"
+	KindPublishRequest        Kind = "publish-request"
+	KindPublishResponse       Kind = "publish-response"
+	KindPublishImageRequest   Kind = "publish-image-request"
+	KindPublishImageResponse  Kind = "publish-image-response"
+	KindLifecycleRequest      Kind = "lifecycle-request"
+	KindLifecycleResponse     Kind = "lifecycle-response"
+	KindListRequest           Kind = "list-request"
+	KindListResponse          Kind = "list-response"
+	KindPingRequest           Kind = "ping-request"
+	KindPingResponse          Kind = "ping-response"
+	KindError                 Kind = "error"
 )
 
 // Message is the envelope: exactly one of the pointers is non-nil,
 // matching Kind.
 type Message struct {
-	XMLName        xml.Name              `xml:"message"`
-	Kind           Kind                  `xml:"kind,attr"`
-	Seq            uint64                `xml:"seq,attr"` // request/response correlation
+	XMLName xml.Name `xml:"message"`
+	Kind    Kind     `xml:"kind,attr"`
+	Seq     uint64   `xml:"seq,attr"` // request/response correlation
 	// Trace context: the caller's trace ID and the span the callee's
 	// work should parent under, so causality survives the process
 	// boundary. Zero values mean "untraced" and are omitted from the
 	// wire format, keeping the envelope backward compatible.
-	TraceID    uint64 `xml:"trace,attr,omitempty"`
-	ParentSpan uint64 `xml:"span,attr,omitempty"`
-	Create         *CreateRequest        `xml:"create-request"`
-	Created        *CreateResponse       `xml:"create-response"`
-	BatchCreate    *BatchCreateRequest   `xml:"batch-create-request"`
-	BatchCreated   *BatchCreateResponse  `xml:"batch-create-response"`
-	Query          *QueryRequest         `xml:"query-request"`
-	Queried        *QueryResponse        `xml:"query-response"`
-	Destroy        *DestroyRequest       `xml:"destroy-request"`
-	Destroyed      *DestroyResponse      `xml:"destroy-response"`
-	Estimate       *EstimateRequest      `xml:"estimate-request"`
-	Bid            *EstimateResponse     `xml:"estimate-response"`
-	Publish        *PublishRequest       `xml:"publish-request"`
-	Published      *PublishResponse      `xml:"publish-response"`
-	PublishImage   *PublishImageRequest  `xml:"publish-image-request"`
-	ImagePublished *PublishImageResponse `xml:"publish-image-response"`
-	Lifecycle      *LifecycleRequest     `xml:"lifecycle-request"`
-	Lifecycled     *LifecycleResponse    `xml:"lifecycle-response"`
-	List           *ListRequest          `xml:"list-request"`
-	Listed         *ListResponse         `xml:"list-response"`
-	Ping           *PingRequest          `xml:"ping-request"`
-	Pong           *PingResponse         `xml:"ping-response"`
-	Err            *ErrorResponse        `xml:"error"`
+	TraceID        uint64                 `xml:"trace,attr,omitempty"`
+	ParentSpan     uint64                 `xml:"span,attr,omitempty"`
+	Create         *CreateRequest         `xml:"create-request"`
+	Created        *CreateResponse        `xml:"create-response"`
+	BatchCreate    *BatchCreateRequest    `xml:"batch-create-request"`
+	BatchCreated   *BatchCreateResponse   `xml:"batch-create-response"`
+	Query          *QueryRequest          `xml:"query-request"`
+	Queried        *QueryResponse         `xml:"query-response"`
+	Destroy        *DestroyRequest        `xml:"destroy-request"`
+	Destroyed      *DestroyResponse       `xml:"destroy-response"`
+	Estimate       *EstimateRequest       `xml:"estimate-request"`
+	Bid            *EstimateResponse      `xml:"estimate-response"`
+	ForwardCreate  *ForwardCreateRequest  `xml:"forward-create-request"`
+	ForwardCreated *ForwardCreateResponse `xml:"forward-create-response"`
+	Publish        *PublishRequest        `xml:"publish-request"`
+	Published      *PublishResponse       `xml:"publish-response"`
+	PublishImage   *PublishImageRequest   `xml:"publish-image-request"`
+	ImagePublished *PublishImageResponse  `xml:"publish-image-response"`
+	Lifecycle      *LifecycleRequest      `xml:"lifecycle-request"`
+	Lifecycled     *LifecycleResponse     `xml:"lifecycle-response"`
+	List           *ListRequest           `xml:"list-request"`
+	Listed         *ListResponse          `xml:"list-response"`
+	Ping           *PingRequest           `xml:"ping-request"`
+	Pong           *PingResponse          `xml:"ping-response"`
+	Err            *ErrorResponse         `xml:"error"`
 }
 
 // CreateRequest asks for a new VM built to a specification. VMID is
@@ -95,17 +99,21 @@ type CreateRequest struct {
 	// RequestID is the client's idempotency token (core.Spec.RequestID):
 	// a shop that journaled a committed creation under this token answers
 	// a retransmission with the original VMID instead of building twice.
-	RequestID string     `xml:"request-id,omitempty"`
-	Name      string     `xml:"name"`
-	Arch      string     `xml:"hardware>arch"`
-	MemoryMB  int        `xml:"hardware>memoryMB"`
-	DiskMB    int        `xml:"hardware>diskMB"`
-	Domain    string     `xml:"network>domain"`
-	ProxyAddr string     `xml:"network>proxy,omitempty"`
-	Token     string     `xml:"network>token,omitempty"`
-	Backend   string     `xml:"backend,omitempty"`
-	Reqs      string     `xml:"requirements,omitempty"`
-	Graph     *dag.Graph `xml:"dag"`
+	RequestID string `xml:"request-id,omitempty"`
+	Name      string `xml:"name"`
+	Arch      string `xml:"hardware>arch"`
+	MemoryMB  int    `xml:"hardware>memoryMB"`
+	DiskMB    int    `xml:"hardware>diskMB"`
+	Domain    string `xml:"network>domain"`
+	ProxyAddr string `xml:"network>proxy,omitempty"`
+	Token     string `xml:"network>token,omitempty"`
+	// Origin names the shop cell that re-auctioned this request across
+	// the federation (empty on client-originated requests). A shop never
+	// forwards a request that already carries an origin.
+	Origin  string     `xml:"origin,omitempty"`
+	Backend string     `xml:"backend,omitempty"`
+	Reqs    string     `xml:"requirements,omitempty"`
+	Graph   *dag.Graph `xml:"dag"`
 }
 
 // Spec converts the wire request to the domain type, validating it.
@@ -118,6 +126,7 @@ func (r *CreateRequest) Spec() (*core.Spec, error) {
 		Backend:      r.Backend,
 		Requirements: r.Reqs,
 		RequestID:    r.RequestID,
+		Origin:       r.Origin,
 		Graph:        r.Graph,
 	}
 	if err := s.Validate(); err != nil {
@@ -137,6 +146,7 @@ func FromSpec(s *core.Spec, token string) *CreateRequest {
 		Domain:    s.Domain,
 		ProxyAddr: s.ProxyAddr,
 		Token:     token,
+		Origin:    s.Origin,
 		Backend:   s.Backend,
 		Reqs:      s.Requirements,
 		Graph:     s.Graph,
@@ -205,6 +215,35 @@ type EstimateResponse struct {
 	Plant string      `xml:"plant"`
 	Cost  float64     `xml:"cost"`
 	Ad    *classad.Ad `xml:"classad"` // the plant's resource classad
+}
+
+// ForwardCreateRequest re-auctions a creation from one shop cell to a
+// peer shop (hierarchical bidding). The embedded create-request carries
+// the forwarding token as its RequestID — a deterministic function of
+// the origin cell's intent, so a cross-cell retransmission after a
+// timeout or crash dedupes against the peer's journal instead of
+// building a second VM. Safe to retransmit for exactly that reason.
+type ForwardCreateRequest struct {
+	// Origin names the forwarding cell (also stamped on the embedded
+	// request's origin field); peers refuse to forward further.
+	Origin string         `xml:"origin"`
+	Create *CreateRequest `xml:"create-request,omitempty"`
+	// Probe, when true, turns the request into a non-creating lookup of
+	// Token against the peer's dedupe journal (Create is omitted): the
+	// origin's restart reconciliation asking "did my forward land?"
+	// without risking a duplicate VM.
+	Probe bool   `xml:"probe,omitempty"`
+	Token string `xml:"token,omitempty"`
+}
+
+// ForwardCreateResponse returns the peer-minted VMID and classad of a
+// creation served on behalf of another cell. For probes, Found reports
+// whether the peer committed a creation under the token (false is
+// authoritative: no VM exists there) and Ad is omitted.
+type ForwardCreateResponse struct {
+	VMID  string      `xml:"vmid"`
+	Ad    *classad.Ad `xml:"classad,omitempty"`
+	Found bool        `xml:"found,omitempty"`
 }
 
 // PublishRequest checkpoints an active VM and publishes it to the VM
@@ -302,27 +341,29 @@ func Errorf(seq uint64, code, format string, args ...any) *Message {
 // validateEnvelope checks the Kind matches the populated body.
 func (m *Message) validateEnvelope() error {
 	bodies := map[Kind]bool{
-		KindCreateRequest:        m.Create != nil,
-		KindCreateResponse:       m.Created != nil,
-		KindBatchCreateRequest:   m.BatchCreate != nil,
-		KindBatchCreateResponse:  m.BatchCreated != nil,
-		KindQueryRequest:         m.Query != nil,
-		KindQueryResponse:        m.Queried != nil,
-		KindDestroyRequest:       m.Destroy != nil,
-		KindDestroyResponse:      m.Destroyed != nil,
-		KindEstimateRequest:      m.Estimate != nil,
-		KindEstimateResponse:     m.Bid != nil,
-		KindPublishRequest:       m.Publish != nil,
-		KindPublishResponse:      m.Published != nil,
-		KindPublishImageRequest:  m.PublishImage != nil,
-		KindPublishImageResponse: m.ImagePublished != nil,
-		KindLifecycleRequest:     m.Lifecycle != nil,
-		KindLifecycleResponse:    m.Lifecycled != nil,
-		KindListRequest:          m.List != nil,
-		KindListResponse:         m.Listed != nil,
-		KindPingRequest:          m.Ping != nil,
-		KindPingResponse:         m.Pong != nil,
-		KindError:                m.Err != nil,
+		KindCreateRequest:         m.Create != nil,
+		KindCreateResponse:        m.Created != nil,
+		KindBatchCreateRequest:    m.BatchCreate != nil,
+		KindBatchCreateResponse:   m.BatchCreated != nil,
+		KindQueryRequest:          m.Query != nil,
+		KindQueryResponse:         m.Queried != nil,
+		KindDestroyRequest:        m.Destroy != nil,
+		KindDestroyResponse:       m.Destroyed != nil,
+		KindEstimateRequest:       m.Estimate != nil,
+		KindEstimateResponse:      m.Bid != nil,
+		KindForwardCreateRequest:  m.ForwardCreate != nil,
+		KindForwardCreateResponse: m.ForwardCreated != nil,
+		KindPublishRequest:        m.Publish != nil,
+		KindPublishResponse:       m.Published != nil,
+		KindPublishImageRequest:   m.PublishImage != nil,
+		KindPublishImageResponse:  m.ImagePublished != nil,
+		KindLifecycleRequest:      m.Lifecycle != nil,
+		KindLifecycleResponse:     m.Lifecycled != nil,
+		KindListRequest:           m.List != nil,
+		KindListResponse:          m.Listed != nil,
+		KindPingRequest:           m.Ping != nil,
+		KindPingResponse:          m.Pong != nil,
+		KindError:                 m.Err != nil,
 	}
 	present, known := bodies[m.Kind]
 	if !known {

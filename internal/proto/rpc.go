@@ -260,11 +260,16 @@ func (c *Client) attempt(m *Message) (*Message, error) {
 // idempotentKinds are the requests safe to retransmit: re-asking never
 // changes service state. Create/destroy/publish/lifecycle are not —
 // the first attempt may have been applied before its reply was lost.
+// Forward-create is the exception among mutating kinds: its embedded
+// RequestID is a deterministic forwarding token journaled by the peer
+// shop, so a retransmission is answered from the peer's dedupe index
+// rather than applied twice.
 var idempotentKinds = map[Kind]bool{
-	KindQueryRequest:    true,
-	KindEstimateRequest: true,
-	KindListRequest:     true,
-	KindPingRequest:     true,
+	KindQueryRequest:         true,
+	KindEstimateRequest:      true,
+	KindListRequest:          true,
+	KindPingRequest:          true,
+	KindForwardCreateRequest: true,
 }
 
 // shouldRetry reports whether a failed attempt of the given kind is

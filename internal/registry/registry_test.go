@@ -1,6 +1,8 @@
 package registry
 
 import (
+	"vmplants/internal/sim"
+
 	"testing"
 	"time"
 )
@@ -85,5 +87,51 @@ func TestWithdraw(t *testing.T) {
 	}
 	if len(r.Discover("s")) != 0 {
 		t.Error("withdrawn binding visible")
+	}
+}
+
+// Leases under the simulation kernel: a cell that heartbeats stays
+// bindable across many TTL windows; once the heartbeat stops, the lease
+// lapses one TTL later in virtual time, and a re-publish resurrects it.
+// This is the clock wiring the federation coordinator relies on — the
+// registry never reads wall time during a simulated run.
+func TestLeaseLifecycleUnderSimClock(t *testing.T) {
+	k := sim.NewKernel()
+	r := New()
+	r.Now = func() time.Time { return time.Unix(0, 0).Add(k.Now()) }
+	const ttl = 5 * time.Second
+	k.Spawn("heartbeat", func(p *sim.Proc) {
+		for i := 0; i < 5; i++ { // last re-publish at t=8s, lease to 13s
+			if err := r.Publish(Binding{Service: "vmshop", Name: "cellA", Addr: "cellA"}, ttl); err != nil {
+				t.Error(err)
+			}
+			p.Sleep(2 * time.Second)
+		}
+	})
+	k.Spawn("observer", func(p *sim.Proc) {
+		p.Sleep(12 * time.Second) // several TTLs in, heartbeat just stopped
+		if _, err := r.Bind("vmshop", "cellA"); err != nil {
+			t.Errorf("heartbeating cell not bindable at %v: %v", p.Now(), err)
+		}
+		p.Sleep(4 * time.Second) // t=16s: one TTL past the last re-publish
+		if _, err := r.Bind("vmshop", "cellA"); err == nil {
+			t.Error("lease survived the heartbeat stopping")
+		}
+		if got := r.Discover("vmshop"); len(got) != 0 {
+			t.Errorf("lapsed cell still discoverable: %+v", got)
+		}
+		if n := r.Sweep(); n != 1 {
+			t.Errorf("Sweep removed %d bindings, want 1", n)
+		}
+		// The cell comes back: one re-publish restores discovery.
+		if err := r.Publish(Binding{Service: "vmshop", Name: "cellA", Addr: "cellA"}, ttl); err != nil {
+			t.Error(err)
+		}
+		if _, err := r.Bind("vmshop", "cellA"); err != nil {
+			t.Errorf("re-published cell not bindable: %v", err)
+		}
+	})
+	if res := k.Run(0); len(res.Stranded) != 0 {
+		t.Fatalf("stranded: %v", res.Stranded)
 	}
 }

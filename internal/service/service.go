@@ -368,6 +368,155 @@ func (rp *RemotePlant) Lifecycle(p *sim.Proc, id core.VMID, op string) error {
 	return err
 }
 
+// RemotePeer is a shop.PeerHandle reaching a peer shop daemon in
+// another cell over TCP. Like RemotePlant, each call dials fresh so a
+// dead cell surfaces as ErrPeerDown; when a registry is wired, the
+// peer's "vmshop" lease is checked first so a withdrawn or lapsed cell
+// fails fast without a connection attempt.
+type RemotePeer struct {
+	PeerName string
+	Addr     string
+	Timeout  time.Duration
+	// Registry, when set, gates every call on a live vmshop lease.
+	Registry *registry.Registry
+	// Retry bounds retransmission of idempotent calls; the zero value
+	// selects DefaultRetry.
+	Retry     proto.RetryPolicy
+	Telemetry *telemetry.Hub
+}
+
+// Name implements shop.PeerHandle.
+func (rp *RemotePeer) Name() string { return rp.PeerName }
+
+func (rp *RemotePeer) call(p *sim.Proc, m *proto.Message) (*proto.Message, error) {
+	if rp.Registry != nil {
+		if _, err := rp.Registry.Bind(Service, rp.PeerName); err != nil {
+			return nil, fmt.Errorf("%w: %s: no live registry lease", shop.ErrPeerDown, rp.PeerName)
+		}
+	}
+	if p != nil {
+		sc := p.Trace()
+		m.TraceID, m.ParentSpan = sc.TraceID, sc.Span
+	}
+	timeout := rp.Timeout
+	if timeout == 0 {
+		timeout = 30 * time.Second
+	}
+	c, err := proto.Dial(rp.Addr, timeout)
+	if err != nil {
+		return nil, fmt.Errorf("%w: %v", shop.ErrPeerDown, err)
+	}
+	defer c.Close()
+	c.Retry = rp.Retry
+	if c.Retry.Attempts == 0 {
+		c.Retry = DefaultRetry
+	}
+	c.SetTelemetry(rp.Telemetry)
+	resp, err := c.Call(m)
+	if err != nil {
+		var remote *proto.RemoteError
+		if errors.As(err, &remote) && remote.Code == proto.CodeUnavailable {
+			return nil, fmt.Errorf("%w: %v", shop.ErrPeerDown, err)
+		}
+		return nil, err
+	}
+	return resp, nil
+}
+
+// Estimate implements shop.PeerHandle.
+func (rp *RemotePeer) Estimate(p *sim.Proc, spec *core.Spec) (core.Cost, error) {
+	resp, err := rp.call(p, &proto.Message{Kind: proto.KindEstimateRequest,
+		Estimate: &proto.EstimateRequest{Create: proto.FromSpec(spec, "")}})
+	if err != nil {
+		return core.Infeasible, err
+	}
+	return core.Cost(resp.Bid.Cost), nil
+}
+
+// Create implements shop.PeerHandle.
+func (rp *RemotePeer) Create(p *sim.Proc, spec *core.Spec) (core.VMID, *classad.Ad, error) {
+	resp, err := rp.call(p, &proto.Message{Kind: proto.KindForwardCreateRequest,
+		ForwardCreate: &proto.ForwardCreateRequest{Origin: spec.Origin, Create: proto.FromSpec(spec, "")}})
+	if err != nil {
+		return "", nil, err
+	}
+	return core.VMID(resp.ForwardCreated.VMID), resp.ForwardCreated.Ad, nil
+}
+
+// LookupForward implements shop.PeerHandle.
+func (rp *RemotePeer) LookupForward(p *sim.Proc, token string) (core.VMID, bool, error) {
+	resp, err := rp.call(p, &proto.Message{Kind: proto.KindForwardCreateRequest,
+		ForwardCreate: &proto.ForwardCreateRequest{Probe: true, Token: token}})
+	if err != nil {
+		return "", false, err
+	}
+	return core.VMID(resp.ForwardCreated.VMID), resp.ForwardCreated.Found, nil
+}
+
+// Query implements shop.PeerHandle.
+func (rp *RemotePeer) Query(p *sim.Proc, id core.VMID) (*classad.Ad, bool, error) {
+	resp, err := rp.call(p, &proto.Message{Kind: proto.KindQueryRequest,
+		Query: &proto.QueryRequest{VMID: string(id)}})
+	if err != nil {
+		var remote *proto.RemoteError
+		if errors.As(err, &remote) {
+			return nil, false, nil // peer reachable, VM unknown there
+		}
+		return nil, false, err
+	}
+	return resp.Queried.Ad, resp.Queried.Found, nil
+}
+
+// Collect implements shop.PeerHandle.
+func (rp *RemotePeer) Collect(p *sim.Proc, id core.VMID) (bool, error) {
+	resp, err := rp.call(p, &proto.Message{Kind: proto.KindDestroyRequest,
+		Destroy: &proto.DestroyRequest{VMID: string(id)}})
+	if err != nil {
+		var remote *proto.RemoteError
+		if errors.As(err, &remote) {
+			return false, nil
+		}
+		return false, err
+	}
+	return resp.Destroyed.Destroyed, nil
+}
+
+// Publish implements shop.PeerHandle.
+func (rp *RemotePeer) Publish(p *sim.Proc, id core.VMID, image string) error {
+	_, err := rp.call(p, &proto.Message{Kind: proto.KindPublishRequest,
+		Publish: &proto.PublishRequest{VMID: string(id), Image: image}})
+	return err
+}
+
+// Lifecycle implements shop.PeerHandle.
+func (rp *RemotePeer) Lifecycle(p *sim.Proc, id core.VMID, op string) error {
+	_, err := rp.call(p, &proto.Message{Kind: proto.KindLifecycleRequest,
+		Lifecycle: &proto.LifecycleRequest{VMID: string(id), Op: op}})
+	return err
+}
+
+// Service is the registry service type shop daemons publish under.
+const Service = "vmshop"
+
+// PublishShop announces a shop daemon (one federation cell) in the
+// service registry so peer cells can discover and bind to it.
+func PublishShop(reg *registry.Registry, name, addr string, meta map[string]string, ttl time.Duration) error {
+	return reg.Publish(registry.Binding{Service: Service, Name: name, Addr: addr, Meta: meta}, ttl)
+}
+
+// DiscoverPeers resolves every live vmshop binding except self to a
+// remote peer handle.
+func DiscoverPeers(reg *registry.Registry, self string, timeout time.Duration) []shop.PeerHandle {
+	var out []shop.PeerHandle
+	for _, b := range reg.Discover(Service) {
+		if b.Name == self {
+			continue
+		}
+		out = append(out, &RemotePeer{PeerName: b.Name, Addr: b.Addr, Registry: reg, Timeout: timeout})
+	}
+	return out
+}
+
 // PublishPlant announces a plant daemon in the service registry
 // (Figure 1's "Publish" arrow), so shops can discover it instead of
 // being configured with a static list.
@@ -434,6 +583,72 @@ func NewShopHandler(r *Runner, s *shop.Shop) proto.Handler {
 				resp.Items[i] = proto.BatchCreateItem{VMID: string(res.VMID), Ad: res.Ad}
 			}
 			return &proto.Message{Kind: proto.KindBatchCreateResponse, BatchCreated: resp}
+
+		case proto.KindEstimateRequest:
+			// Peer-facing half of hierarchical bidding: another cell asks
+			// for this shop's aggregate bid (its cheapest feasible plant).
+			spec, err := req.Estimate.Create.Spec()
+			if err != nil {
+				return proto.Errorf(req.Seq, proto.CodeBadRequest, "%v", err)
+			}
+			var c core.Cost
+			var eerr error
+			if err := r.DoCtx("shop-estimate", sc, func(p *sim.Proc) { c, eerr = s.EstimateForward(p, spec) }); err != nil {
+				return proto.Errorf(req.Seq, proto.CodeInternal, "%v", err)
+			}
+			if eerr != nil {
+				if errors.Is(eerr, shop.ErrShopDown) {
+					return proto.Errorf(req.Seq, proto.CodeUnavailable, "%v", eerr)
+				}
+				return proto.Errorf(req.Seq, proto.CodeBadRequest, "%v", eerr)
+			}
+			return &proto.Message{Kind: proto.KindEstimateResponse,
+				Bid: &proto.EstimateResponse{Plant: s.Name(), Cost: float64(c)}}
+
+		case proto.KindForwardCreateRequest:
+			if req.ForwardCreate.Probe {
+				// Non-creating reconcile probe: did this cell commit a
+				// creation under the origin's forwarding token?
+				var id core.VMID
+				var found bool
+				var lerr error
+				if err := r.DoCtx("shop-forward-lookup", sc, func(p *sim.Proc) {
+					id, found, lerr = s.ForwardLookup(p, req.ForwardCreate.Token)
+				}); err != nil {
+					return proto.Errorf(req.Seq, proto.CodeInternal, "%v", err)
+				}
+				if lerr != nil {
+					if errors.Is(lerr, shop.ErrShopDown) {
+						return proto.Errorf(req.Seq, proto.CodeUnavailable, "%v", lerr)
+					}
+					return proto.Errorf(req.Seq, proto.CodeBadRequest, "%v", lerr)
+				}
+				return &proto.Message{Kind: proto.KindForwardCreateResponse,
+					ForwardCreated: &proto.ForwardCreateResponse{VMID: string(id), Found: found}}
+			}
+			if req.ForwardCreate.Create == nil {
+				return proto.Errorf(req.Seq, proto.CodeBadRequest, "forward-create without a create-request")
+			}
+			cr := *req.ForwardCreate.Create
+			cr.Origin = req.ForwardCreate.Origin
+			spec, err := cr.Spec()
+			if err != nil {
+				return proto.Errorf(req.Seq, proto.CodeBadRequest, "%v", err)
+			}
+			var id core.VMID
+			var ad *classad.Ad
+			var cerr error
+			if err := r.DoCtx("shop-forward-create", sc, func(p *sim.Proc) { id, ad, cerr = s.ForwardCreate(p, spec) }); err != nil {
+				return proto.Errorf(req.Seq, proto.CodeInternal, "%v", err)
+			}
+			if cerr != nil {
+				if errors.Is(cerr, shop.ErrShopDown) {
+					return proto.Errorf(req.Seq, proto.CodeUnavailable, "%v", cerr)
+				}
+				return proto.Errorf(req.Seq, proto.CodeNoResources, "%v", cerr)
+			}
+			return &proto.Message{Kind: proto.KindForwardCreateResponse,
+				ForwardCreated: &proto.ForwardCreateResponse{VMID: string(id), Ad: ad}}
 
 		case proto.KindQueryRequest:
 			var ad *classad.Ad

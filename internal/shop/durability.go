@@ -39,9 +39,6 @@ import (
 // off and retry after the daemon returns.
 var ErrShopDown = errors.New("shop daemon down")
 
-// shopSite is the fault-registry site name for shop-level injections.
-const shopSite = "shop"
-
 // intent is one journaled creation not yet known to be closed.
 type intent struct {
 	id        core.VMID
@@ -49,6 +46,17 @@ type intent struct {
 	specXML   string // proto.CreateRequest XML, enough to re-drive
 	committed bool
 	plant     string
+	// origin names the cell that forwarded this creation here (""
+	// for client-originated requests) — journaled on the intent so
+	// both sides of a cross-cell hop can reconcile it.
+	origin string
+	// attempts lists the peers this cell wrote a forward-attempt record
+	// for (in order), so reconciliation knows exactly which cells may
+	// hold the VM; fwdPeer/remote are set by the forward-commit record
+	// once a peer answered.
+	attempts []string
+	fwdPeer  string
+	remote   core.VMID
 }
 
 // SetJournal attaches the shop's durable event log. From now on every
@@ -77,6 +85,7 @@ func (s *Shop) Kill() {
 	s.intents = make(map[core.VMID]*intent)
 	s.byReq = make(map[string]core.VMID)
 	s.inflight = make(map[string]int)
+	s.peerRoutes = make(map[core.VMID]peerRoute)
 	s.mu.Unlock()
 	if s.jnl != nil {
 		s.jnl.Crash()
@@ -84,9 +93,11 @@ func (s *Shop) Kill() {
 }
 
 // killIf fires the daemon-kill fault at one of the shop's protocol
-// points ("intent", "commit") and, when it fires, kills the shop.
+// points ("intent", "commit", "forward") and, when it fires, kills the
+// shop. The fault site is the shop's own name, so a federation
+// experiment can kill one cell while its peers keep serving.
 func (s *Shop) killIf(op string) bool {
-	if !s.Faults.Should(shopSite, fault.DaemonKill, op) {
+	if !s.Faults.Should(s.name, fault.DaemonKill, op) {
 		return false
 	}
 	s.Kill()
@@ -110,6 +121,11 @@ type RestartStats struct {
 	Redriven int
 	// Aborted counts open intents whose re-drive failed permanently.
 	Aborted int
+	// Unresolved counts open intents that could not be settled because
+	// an attempted forward peer was unreachable: the VM may exist in
+	// that cell, so neither a commit nor a re-drive is safe. They stay
+	// open for the next restart (or the peer's return) to settle.
+	Unresolved int
 }
 
 // Restart brings a killed shop back: journal replay rebuilds the route
@@ -137,17 +153,22 @@ func (s *Shop) Restart(p *sim.Proc) (RestartStats, error) {
 	s.mu.Lock()
 	s.intents = make(map[core.VMID]*intent)
 	s.byReq = make(map[string]core.VMID)
+	s.peerRoutes = make(map[core.VMID]peerRoute)
 	s.mu.Unlock()
 	byName := make(map[string]PlantHandle, len(s.plants))
 	for _, h := range s.plants {
 		byName[h.Name()] = h
+	}
+	byPeer := make(map[string]PeerHandle, len(s.peers))
+	for _, h := range s.peers {
+		byPeer[h.Name()] = h
 	}
 	var maxMinted uint64
 	rst, err := s.jnl.Replay(func(r journal.Record) error {
 		id := core.VMID(r.Key)
 		switch r.Kind {
 		case journal.CreationIntent:
-			in := &intent{id: id, req: r.Field("req"), specXML: r.Field("spec")}
+			in := &intent{id: id, req: r.Field("req"), specXML: r.Field("spec"), origin: r.Field("origin")}
 			s.intents[id] = in
 			if in.req != "" {
 				s.byReq[in.req] = id
@@ -163,14 +184,42 @@ func (s *Shop) Restart(p *sim.Proc) (RestartStats, error) {
 			if h := byName[r.Field("plant")]; h != nil {
 				s.routes[id] = h
 			}
+		case journal.CreationForward:
+			switch r.Field("phase") {
+			case "commit":
+				if in := s.intents[id]; in != nil {
+					in.committed = true
+					in.fwdPeer = r.Field("peer")
+					in.remote = core.VMID(r.Field("remote"))
+				}
+				if h := byPeer[r.Field("peer")]; h != nil {
+					s.peerRoutes[id] = peerRoute{peer: h, remote: core.VMID(r.Field("remote"))}
+				}
+			default: // "attempt": the write-ahead half — a peer may hold the VM
+				if in := s.intents[id]; in != nil {
+					in.attempts = append(in.attempts, r.Field("peer"))
+				}
+			}
 		case journal.CreationAbort:
 			s.dropIntent(id)
 		case journal.RouteDrop:
 			delete(s.routes, id)
+			delete(s.peerRoutes, id)
 			s.dropIntent(id)
 		case journal.RouteChange:
-			if h := byName[r.Field("plant")]; h != nil {
-				s.routes[id] = h
+			// Routes carry an endpoint kind: a VM can be served by a
+			// local plant or live in a peer cell under its own VMID.
+			// (Records written before federation have no endpoint field
+			// and default to plant.)
+			switch r.Field("endpoint") {
+			case "", journal.EndpointPlant:
+				if h := byName[r.Field("plant")]; h != nil {
+					s.routes[id] = h
+				}
+			case journal.EndpointPeer:
+				if h := byPeer[r.Field("peer")]; h != nil {
+					s.peerRoutes[id] = peerRoute{peer: h, remote: core.VMID(r.Field("remote"))}
+				}
 			}
 		}
 		return nil
@@ -180,7 +229,7 @@ func (s *Shop) Restart(p *sim.Proc) (RestartStats, error) {
 	}
 	st.Replayed = rst.Records
 	st.TornTails = rst.TornTails
-	st.Routes = len(s.routes)
+	st.Routes = len(s.routes) + len(s.peerRoutes)
 	s.mRecoveredRts.Add(int64(len(s.routes)))
 	// The VMID counter must never re-mint an ID that reached the journal;
 	// keep the in-memory counter when it is already ahead.
@@ -205,6 +254,24 @@ func (s *Shop) Restart(p *sim.Proc) (RestartStats, error) {
 			s.mReconciled.Inc()
 			st.Reconciled++
 			continue
+		}
+		if len(in.attempts) > 0 {
+			// The crash hit inside a forward window: an attempted peer
+			// may hold the VM under our forwarding token. Resolve by
+			// token lookup; only when every attempted peer
+			// authoritatively denies it is a local re-drive safe.
+			done, resolved := s.reconcileForward(p, id, in)
+			if done {
+				s.mReconciled.Inc()
+				st.Reconciled++
+				continue
+			}
+			if !resolved {
+				st.Unresolved++
+				continue
+			}
+			// Provably absent from every attempted peer: fall through
+			// to the ordinary re-drive.
 		}
 		// The intent never produced a VM (the crash hit before dispatch,
 		// or the partial clone died with its fault). Re-drive it under
@@ -259,6 +326,9 @@ func (s *Shop) beginCreation(p *sim.Proc, spec *core.Spec) (id core.VMID, ad *cl
 		if spec.RequestID != "" {
 			f["req"] = spec.RequestID
 		}
+		if spec.Origin != "" {
+			f["origin"] = spec.Origin
+		}
 		var specXML string
 		if x, merr := xml.Marshal(proto.FromSpec(spec, "")); merr == nil {
 			specXML = string(x)
@@ -266,7 +336,7 @@ func (s *Shop) beginCreation(p *sim.Proc, spec *core.Spec) (id core.VMID, ad *cl
 		}
 		s.jnl.AppendSync(p, journal.Record{Kind: journal.CreationIntent, Key: string(id), Fields: f})
 		s.mu.Lock()
-		s.intents[id] = &intent{id: id, req: spec.RequestID, specXML: specXML}
+		s.intents[id] = &intent{id: id, req: spec.RequestID, specXML: specXML, origin: spec.Origin}
 		if spec.RequestID != "" {
 			s.byReq[spec.RequestID] = id
 		}
@@ -310,6 +380,124 @@ func (s *Shop) abortCreation(p *sim.Proc, id core.VMID, err error) error {
 	s.dropIntentLocked(id)
 	s.mu.Unlock()
 	return err
+}
+
+// forwardAttempt writes the write-ahead half of a cross-cell forward:
+// synced BEFORE the peer sees the create, so a crash inside the forward
+// window leaves a durable trail naming every cell that may hold the VM.
+func (s *Shop) forwardAttempt(p *sim.Proc, id core.VMID, peer string) {
+	if s.jnl != nil {
+		s.jnl.AppendSync(p, journal.Record{
+			Kind: journal.CreationForward, Key: string(id),
+			Fields: map[string]string{"phase": "attempt", "peer": peer},
+		})
+	}
+	s.mu.Lock()
+	if in := s.intents[id]; in != nil {
+		in.attempts = append(in.attempts, peer)
+	}
+	s.mu.Unlock()
+}
+
+// forwardCommit closes an intent that a peer cell served: the record is
+// synced before the client hears the answer, and the peer route is
+// installed so later Query/Destroy/Publish calls reach the remote VM.
+func (s *Shop) forwardCommit(p *sim.Proc, id core.VMID, peer PeerHandle, remote core.VMID) {
+	if s.jnl != nil {
+		s.jnl.AppendSync(p, journal.Record{
+			Kind: journal.CreationForward, Key: string(id),
+			Fields: map[string]string{"phase": "commit", "peer": peer.Name(), "remote": string(remote)},
+		})
+	}
+	s.mu.Lock()
+	if in := s.intents[id]; in != nil {
+		in.committed = true
+		in.fwdPeer = peer.Name()
+		in.remote = remote
+	}
+	s.peerRoutes[id] = peerRoute{peer: peer, remote: remote}
+	s.mu.Unlock()
+}
+
+// reconcileForward settles an open intent whose forward-attempt records
+// name peers that may hold the VM. Each attempted peer is asked — via a
+// non-creating token lookup, so the probe can never mint a duplicate —
+// whether it committed our forwarding token. Found on some peer: commit
+// the forward here (done=true). Denied by every attempted peer:
+// resolved=true and the caller may safely re-drive locally. Any peer
+// unreachable or still in flight: resolved=false — the VM may exist
+// there, so the intent must stay open.
+func (s *Shop) reconcileForward(p *sim.Proc, id core.VMID, in *intent) (done, resolved bool) {
+	token := ForwardToken(s.name, id)
+	seen := make(map[string]bool, len(in.attempts))
+	for _, name := range in.attempts {
+		if seen[name] {
+			continue
+		}
+		seen[name] = true
+		var h PeerHandle
+		for _, ph := range s.peers {
+			if ph.Name() == name {
+				h = ph
+				break
+			}
+		}
+		if h == nil {
+			// The attempted peer is not wired into this incarnation:
+			// its state cannot be ruled out.
+			return false, false
+		}
+		remote, found, err := h.LookupForward(p, token)
+		if err != nil {
+			return false, false
+		}
+		if found {
+			s.forwardCommit(p, id, h, remote)
+			return true, true
+		}
+	}
+	return false, true
+}
+
+// ForwardLookup resolves a forwarding token against this cell's dedupe
+// index — the probe half of cross-cell reconciliation. It never creates
+// anything: a token this cell has no committed creation for reports
+// found=false, and a token still in flight is an error (the origin must
+// retry once the outcome is durable here).
+func (s *Shop) ForwardLookup(p *sim.Proc, token string) (core.VMID, bool, error) {
+	if s.down {
+		return "", false, ErrShopDown
+	}
+	if token == "" || s.jnl == nil {
+		return "", false, nil
+	}
+	s.mu.Lock()
+	prior, ok := s.byReq[token]
+	var in *intent
+	if ok {
+		in = s.intents[prior]
+	}
+	s.mu.Unlock()
+	if in == nil {
+		return "", false, nil
+	}
+	if !in.committed {
+		return "", false, fmt.Errorf("shop %s: forward %s still in flight", s.name, token)
+	}
+	return prior, true, nil
+}
+
+// journalRouteLearn records a route re-learned by the legacy Recover
+// re-scrape. Buffered, not synced: route-learn records are soft state —
+// losing one only costs another recovery sweep.
+func (s *Shop) journalRouteLearn(p *sim.Proc, id core.VMID, plant string) {
+	if s.jnl == nil {
+		return
+	}
+	s.jnl.Append(p, journal.Record{
+		Kind: journal.RouteChange, Key: string(id),
+		Fields: map[string]string{"endpoint": journal.EndpointPlant, "plant": plant},
+	})
 }
 
 // journalDrop records a VM leaving the routing table (Destroy).

@@ -45,7 +45,7 @@ func vmCount(p *sim.Proc, d *deployment) int {
 func TestKillAfterIntentRedrivesExactlyOnce(t *testing.T) {
 	d := newDeployment(t, 2, plant.Config{MaxVMs: 32})
 	_, reg := journaled(d)
-	reg.Arm(shopSite, fault.DaemonKill, "intent", 1)
+	reg.Arm("shop", fault.DaemonKill, "intent", 1)
 	d.run(t, func(p *sim.Proc) {
 		spec := wsSpec(t, "ivan", "ufl.edu")
 		spec.RequestID = "req-1"
@@ -83,7 +83,7 @@ func TestKillAfterIntentRedrivesExactlyOnce(t *testing.T) {
 func TestKillBeforeCommitReconcilesExactlyOnce(t *testing.T) {
 	d := newDeployment(t, 2, plant.Config{MaxVMs: 32})
 	_, reg := journaled(d)
-	reg.Arm(shopSite, fault.DaemonKill, "commit", 1)
+	reg.Arm("shop", fault.DaemonKill, "commit", 1)
 	d.run(t, func(p *sim.Proc) {
 		spec := wsSpec(t, "ana", "ufl.edu")
 		spec.RequestID = "req-2"

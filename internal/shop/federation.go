@@ -1,0 +1,470 @@
+// Federated shops: the hierarchical half of the bidding machinery.
+//
+// A shop that cannot serve a creation locally — every plant infeasible,
+// breaker-open, or transiently failing — re-auctions the request among
+// its peer shops exactly the way it auctions among plants: collect cost
+// estimates, pick the cheapest (ties at random), fail over to the next
+// bidder when the winner turns out to be unreachable. A forwarded
+// request carries an Origin cell and a deterministic forwarding token
+// as its RequestID, so the hop is exactly-once: the peer journals the
+// intent under the token and a cross-cell retry (client resubmission,
+// RPC retransmit, or crash-restart re-drive) is answered from the
+// peer's dedupe index instead of building a second VM. Forwarded
+// requests are never forwarded again (one-hop hierarchy), so a
+// saturated federation degrades to per-cell failures rather than
+// creations bouncing between cells.
+package shop
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+
+	"vmplants/internal/classad"
+	"vmplants/internal/core"
+	"vmplants/internal/fault"
+	"vmplants/internal/registry"
+	"vmplants/internal/sim"
+)
+
+// PeerHandle is one shop's view of a peer shop in another cell: the
+// forward-create protocol plus the routed operations a cell serves for
+// VMs it created on a peer's behalf. Implementations exist for
+// in-process peers under the simulation kernel (LocalPeerHandle) and
+// for remote shop daemons over TCP (service.RemotePeer).
+type PeerHandle interface {
+	// Name identifies the peer cell.
+	Name() string
+	// Estimate returns the peer's aggregate bid for serving the spec —
+	// the cheapest feasible bid of its own plant round — or
+	// core.Infeasible when no plant there can take it.
+	Estimate(p *sim.Proc, spec *core.Spec) (core.Cost, error)
+	// Create builds the VM in the peer's cell; the spec must carry
+	// Origin and the forwarding-token RequestID. Returns the
+	// peer-minted VMID.
+	Create(p *sim.Proc, spec *core.Spec) (core.VMID, *classad.Ad, error)
+	// LookupForward asks, without creating anything, whether the peer
+	// committed a creation under the given forwarding token — the
+	// restart-time reconcile probe. found=false is authoritative: the
+	// peer holds no VM for the token.
+	LookupForward(p *sim.Proc, token string) (remote core.VMID, found bool, err error)
+	// Query fetches a forwarded VM's classad from the peer.
+	Query(p *sim.Proc, id core.VMID) (*classad.Ad, bool, error)
+	// Collect destroys a forwarded VM in the peer's cell.
+	Collect(p *sim.Proc, id core.VMID) (found bool, err error)
+	// Publish checkpoints a forwarded VM into the peer cell's warehouse.
+	Publish(p *sim.Proc, id core.VMID, image string) error
+	// Lifecycle suspends or resumes a forwarded VM.
+	Lifecycle(p *sim.Proc, id core.VMID, op string) error
+}
+
+// ErrPeerDown marks an unreachable peer shop (lease lapsed, daemon
+// dead, or transport failure) — the transient class of peer errors, so
+// the peer auction fails over instead of reporting it to the client.
+var ErrPeerDown = errors.New("shop: peer shop unreachable")
+
+// peerRoute records where a forwarded creation lives: the peer serving
+// it and the VMID that cell knows it by.
+type peerRoute struct {
+	peer   PeerHandle
+	remote core.VMID
+}
+
+// SetPeers wires the shop's peer cells for hierarchical bidding.
+func (s *Shop) SetPeers(peers []PeerHandle) {
+	s.peers = append([]PeerHandle(nil), peers...)
+}
+
+// Peers returns the wired peer handles.
+func (s *Shop) Peers() []PeerHandle { return append([]PeerHandle(nil), s.peers...) }
+
+// ForwardToken derives the idempotency token a forwarded creation
+// carries. It is a pure function of the origin cell and the origin-side
+// VMID — a restart-time re-drive reuses the original VMID, so its
+// re-forward dedupes against the peer's journal.
+func ForwardToken(origin string, id core.VMID) string {
+	return fmt.Sprintf("fwd-%s-%s", origin, id)
+}
+
+// peerKey namespaces peer breaker entries away from plant names.
+func peerKey(name string) string { return "peer:" + name }
+
+// tryForward runs the peer auction for a creation the local plants
+// could not serve. handled=true means forwarding decided the outcome
+// (success, a permanent peer-side failure already journaled as an
+// abort, or a daemon kill at the forward chaos point); handled=false
+// means no peer could take it and the caller should abort locally.
+func (s *Shop) tryForward(p *sim.Proc, id core.VMID, spec *core.Spec) (ad *classad.Ad, handled bool, err error) {
+	if spec.Origin != "" || len(s.peers) == 0 || s.down {
+		return nil, false, nil
+	}
+	fwd := *spec
+	fwd.Origin = s.name
+	fwd.RequestID = ForwardToken(s.name, id)
+
+	sp := s.tel.T().StartCtx(p, "shop.forward", p.Trace()).
+		Set("shop", s.name).
+		Set("vmid", string(id))
+	defer func() { sp.EndErr(p, err) }()
+
+	// Peer bidding round, breaker-gated like a plant round: skip peers
+	// whose breaker is open unless that would empty the round.
+	s.mPeerBidRounds.Inc()
+	round := s.peers
+	if s.Breaker.Threshold > 0 {
+		var allowed []PeerHandle
+		for _, h := range s.peers {
+			if s.breakerFor(peerKey(h.Name())).allow(p.Now()) {
+				allowed = append(allowed, h)
+			}
+		}
+		if len(allowed) > 0 {
+			round = allowed
+		}
+	}
+	type peerBid struct {
+		h PeerHandle
+		c core.Cost
+	}
+	var feasible []peerBid
+	for _, h := range round {
+		c, eerr := h.Estimate(p, &fwd)
+		if eerr != nil {
+			s.noteFailure(p.Now(), peerKey(h.Name()))
+			continue
+		}
+		s.noteSuccess(peerKey(h.Name()))
+		if !c.OK() {
+			continue
+		}
+		feasible = append(feasible, peerBid{h, c})
+	}
+	sp.SetInt("peers", int64(len(round))).SetInt("feasible", int64(len(feasible)))
+
+	for len(feasible) > 0 {
+		best := feasible[0].c
+		for _, b := range feasible[1:] {
+			if b.c < best {
+				best = b.c
+			}
+		}
+		var winners []PeerHandle
+		for _, b := range feasible {
+			if b.c == best {
+				winners = append(winners, b.h)
+			}
+		}
+		win := winners[s.rng.Intn(len(winners))]
+		// Write-ahead: the attempt record must be durable before the
+		// peer can build anything, or a crash here would strand a VM in
+		// a cell the restart has no reason to ask.
+		s.forwardAttempt(p, id, win.Name())
+		remote, ad, cerr := win.Create(p, &fwd)
+		if cerr == nil {
+			// Chaos point: the origin daemon can die here — the peer
+			// holds a committed VM, but the forward record never lands.
+			// Restart's re-drive re-forwards under the same token and
+			// the peer's dedupe answers with this same VM.
+			if s.killIf("forward") {
+				return nil, true, ErrShopDown
+			}
+			s.forwardCommit(p, id, win, remote)
+			s.noteSuccess(peerKey(win.Name()))
+			s.mForwards.Inc()
+			if s.CacheAds {
+				s.cache[id] = ad.Clone()
+			}
+			sp.Set("peer", win.Name()).Set("remote", string(remote))
+			return ad, true, nil
+		}
+		if !errors.Is(cerr, ErrPeerDown) && !errors.Is(cerr, core.ErrTransient) {
+			// A permanent peer-side creation failure is the request's
+			// outcome: the spec would fail the same way in any cell.
+			s.mForwardFails.Inc()
+			return nil, true, s.abortCreation(p, id, fmt.Errorf("shop %s: peer %s: %w", s.name, win.Name(), cerr))
+		}
+		s.noteFailure(p.Now(), peerKey(win.Name()))
+		next := feasible[:0]
+		for _, b := range feasible {
+			if b.h != win {
+				next = append(next, b)
+			}
+		}
+		feasible = next
+	}
+	s.mForwardFails.Inc()
+	return nil, false, nil
+}
+
+// EstimateForward is the peer-facing half of hierarchical bidding: the
+// shop runs one bidding round over its own plants and answers with the
+// cheapest feasible bid, or core.Infeasible when no local plant can
+// take the request. Nothing is journaled — an estimate has no effects.
+func (s *Shop) EstimateForward(p *sim.Proc, spec *core.Spec) (core.Cost, error) {
+	if s.down {
+		return core.Infeasible, ErrShopDown
+	}
+	if err := spec.Validate(); err != nil {
+		return core.Infeasible, err
+	}
+	reqAd, err := requestAd(spec)
+	if err != nil {
+		return core.Infeasible, err
+	}
+	round := s.plants
+	if s.Breaker.Threshold > 0 {
+		var allowed []PlantHandle
+		for _, h := range s.plants {
+			if s.breakerFor(h.Name()).allow(p.Now()) {
+				allowed = append(allowed, h)
+			}
+		}
+		if len(allowed) > 0 {
+			round = allowed
+		}
+	}
+	sp := s.tel.T().StartCtx(p, "shop.estimate_forward", p.Trace()).Set("shop", s.name)
+	rec := BidRecord{Costs: make(map[string]core.Cost)}
+	feasible := s.collectBids(p, round, spec, reqAd, &rec, sp)
+	sp.SetInt("feasible", int64(len(feasible))).End(p)
+	if len(feasible) == 0 {
+		return core.Infeasible, nil
+	}
+	best := feasible[0].c
+	for _, b := range feasible[1:] {
+		if b.c < best {
+			best = b.c
+		}
+	}
+	return best, nil
+}
+
+// ForwardCreate serves a creation on behalf of a peer cell. The spec
+// must carry an Origin (set by the forwarding shop) — a request that
+// already hopped once is refused rather than re-forwarded. The
+// forwarding token rides in spec.RequestID, so the peer-side journal
+// dedupes cross-cell retries through the ordinary beginCreation path,
+// and the intent record lands with an origin field for cross-cell
+// reconciliation.
+func (s *Shop) ForwardCreate(p *sim.Proc, spec *core.Spec) (core.VMID, *classad.Ad, error) {
+	if err := spec.Validate(); err != nil {
+		return "", nil, err
+	}
+	if spec.Origin == "" {
+		return "", nil, fmt.Errorf("shop %s: forward-create without an origin cell", s.name)
+	}
+	if spec.Origin == s.name {
+		return "", nil, fmt.Errorf("shop %s: refusing forward-create from itself", s.name)
+	}
+	if s.down {
+		return "", nil, ErrShopDown
+	}
+	s.mServedForwards.Inc()
+	id, ad, done, err := s.beginCreation(p, spec)
+	if done {
+		return id, ad, err
+	}
+	ad, err = s.createAs(p, id, spec)
+	if err != nil {
+		return "", nil, err
+	}
+	return id, ad, nil
+}
+
+// ForwardedTo reports where a forwarded creation went ("" when the VM
+// is not a forwarded one).
+func (s *Shop) ForwardedTo(id core.VMID) (peer string, remote core.VMID, ok bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	pr, ok := s.peerRoutes[id]
+	if !ok {
+		return "", "", false
+	}
+	return pr.peer.Name(), pr.remote, true
+}
+
+// ForwardedRoute is one cross-cell route, for status reporting.
+type ForwardedRoute struct {
+	LocalID  string `json:"local_id"`
+	Peer     string `json:"peer"`
+	RemoteID string `json:"remote_id"`
+}
+
+// FederationStatus is a snapshot of the shop's federation state, served
+// by the daemon's /debug/federation endpoint and vmctl.
+type FederationStatus struct {
+	Shop      string           `json:"shop"`
+	Peers     []string         `json:"peers"`
+	Forwarded []ForwardedRoute `json:"forwarded"`
+}
+
+// Federation snapshots the shop's peer wiring and cross-cell routes.
+func (s *Shop) Federation() FederationStatus {
+	st := FederationStatus{Shop: s.name}
+	for _, h := range s.peers {
+		st.Peers = append(st.Peers, h.Name())
+	}
+	sort.Strings(st.Peers)
+	s.mu.Lock()
+	for id, pr := range s.peerRoutes {
+		st.Forwarded = append(st.Forwarded, ForwardedRoute{
+			LocalID: string(id), Peer: pr.peer.Name(), RemoteID: string(pr.remote),
+		})
+	}
+	s.mu.Unlock()
+	sort.Slice(st.Forwarded, func(i, j int) bool { return st.Forwarded[i].LocalID < st.Forwarded[j].LocalID })
+	return st
+}
+
+// LocalPeerHandle adapts an in-process peer *Shop under the same
+// simulation kernel, charging a cross-cell message latency and checking
+// the peer's registry lease before every call: a peer whose lease has
+// lapsed is authoritatively gone, so the call fails immediately instead
+// of burning a timeout — a vanished peer can never stall a bid round.
+type LocalPeerHandle struct {
+	Target *Shop
+	// Registry, when set, is consulted for a live "vmshop" lease under
+	// the peer's name before every call.
+	Registry *registry.Registry
+	// MsgLatency is the one-way cross-cell control latency (WAN hop,
+	// default 20 ms). Both directions are charged.
+	MsgLatency float64
+	// CallTimeout is the virtual-seconds price of a call that will
+	// never be answered (dead daemon, dropped message).
+	CallTimeout float64
+	// Faults injects transport faults against this peer, keyed by the
+	// peer's name with ops "peer-estimate", "peer-create", …
+	Faults *fault.Registry
+}
+
+// NewLocalPeerHandle wraps a peer shop with default cross-cell latency.
+func NewLocalPeerHandle(target *Shop, reg *registry.Registry) *LocalPeerHandle {
+	return &LocalPeerHandle{Target: target, Registry: reg, MsgLatency: 0.02, CallTimeout: 1.0}
+}
+
+// Name implements PeerHandle.
+func (h *LocalPeerHandle) Name() string { return h.Target.Name() }
+
+func (h *LocalPeerHandle) timeout(p *sim.Proc) {
+	t := h.CallTimeout
+	if t <= 0 {
+		t = 1.0
+	}
+	p.Sleep(sim.Seconds(t))
+}
+
+func (h *LocalPeerHandle) roundTrip(p *sim.Proc, op string) error {
+	name := h.Target.Name()
+	if h.Registry != nil {
+		if _, err := h.Registry.Bind("vmshop", name); err != nil {
+			// Fail fast: an expired lease means the cell withdrew (or
+			// stopped heartbeating); no timeout is owed for a peer the
+			// directory already says is gone.
+			return fmt.Errorf("%w: %s: no live registry lease", ErrPeerDown, name)
+		}
+	}
+	if h.Faults.Should(name, fault.RPCDrop, op) {
+		h.timeout(p)
+		return fmt.Errorf("%w: %s: %s timed out", ErrPeerDown, name, op)
+	}
+	if d := h.Faults.DelayFor(name, fault.RPCDelay, op); d > 0 {
+		p.Sleep(d)
+	}
+	if h.Target.Down() {
+		h.timeout(p)
+		return fmt.Errorf("%w: %s: daemon not running", ErrPeerDown, name)
+	}
+	p.Sleep(sim.Seconds(2 * h.MsgLatency))
+	return nil
+}
+
+// peerErr maps the target shop's down-state onto the transport error
+// class, so the origin's failover machinery treats a mid-call death the
+// same as an unreachable peer.
+func peerErr(name string, err error) error {
+	if errors.Is(err, ErrShopDown) {
+		return fmt.Errorf("%w: %s: daemon died mid-call", ErrPeerDown, name)
+	}
+	return err
+}
+
+// Estimate implements PeerHandle.
+func (h *LocalPeerHandle) Estimate(p *sim.Proc, spec *core.Spec) (core.Cost, error) {
+	if err := h.roundTrip(p, "peer-estimate"); err != nil {
+		return core.Infeasible, err
+	}
+	c, err := h.Target.EstimateForward(p, spec)
+	if err != nil {
+		return core.Infeasible, peerErr(h.Target.Name(), err)
+	}
+	return c, nil
+}
+
+// Create implements PeerHandle.
+func (h *LocalPeerHandle) Create(p *sim.Proc, spec *core.Spec) (core.VMID, *classad.Ad, error) {
+	if err := h.roundTrip(p, "peer-create"); err != nil {
+		return "", nil, err
+	}
+	id, ad, err := h.Target.ForwardCreate(p, spec)
+	if err != nil {
+		return "", nil, peerErr(h.Target.Name(), err)
+	}
+	return id, ad, nil
+}
+
+// LookupForward implements PeerHandle.
+func (h *LocalPeerHandle) LookupForward(p *sim.Proc, token string) (core.VMID, bool, error) {
+	if err := h.roundTrip(p, "peer-lookup"); err != nil {
+		return "", false, err
+	}
+	remote, found, err := h.Target.ForwardLookup(p, token)
+	if err != nil {
+		return "", false, peerErr(h.Target.Name(), err)
+	}
+	return remote, found, nil
+}
+
+// Query implements PeerHandle.
+func (h *LocalPeerHandle) Query(p *sim.Proc, id core.VMID) (*classad.Ad, bool, error) {
+	if err := h.roundTrip(p, "peer-query"); err != nil {
+		return nil, false, err
+	}
+	ad, err := h.Target.Query(p, id)
+	if err != nil {
+		if errors.Is(err, ErrShopDown) {
+			return nil, false, peerErr(h.Target.Name(), err)
+		}
+		return nil, false, nil // peer reachable, VM unknown there
+	}
+	return ad, true, nil
+}
+
+// Collect implements PeerHandle.
+func (h *LocalPeerHandle) Collect(p *sim.Proc, id core.VMID) (bool, error) {
+	if err := h.roundTrip(p, "peer-collect"); err != nil {
+		return false, err
+	}
+	if err := h.Target.Destroy(p, id); err != nil {
+		if errors.Is(err, ErrShopDown) {
+			return false, peerErr(h.Target.Name(), err)
+		}
+		return false, nil
+	}
+	return true, nil
+}
+
+// Publish implements PeerHandle.
+func (h *LocalPeerHandle) Publish(p *sim.Proc, id core.VMID, image string) error {
+	if err := h.roundTrip(p, "peer-publish"); err != nil {
+		return err
+	}
+	return peerErr(h.Target.Name(), h.Target.Publish(p, id, image))
+}
+
+// Lifecycle implements PeerHandle.
+func (h *LocalPeerHandle) Lifecycle(p *sim.Proc, id core.VMID, op string) error {
+	if err := h.roundTrip(p, "peer-lifecycle"); err != nil {
+		return err
+	}
+	return peerErr(h.Target.Name(), h.Target.lifecycle(p, id, op))
+}

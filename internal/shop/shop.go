@@ -38,6 +38,15 @@ type Shop struct {
 	routes map[core.VMID]PlantHandle // soft state
 	cache  map[core.VMID]*classad.Ad // optional classad cache (speeds queries)
 
+	// peers are the other cells of the federation (SetPeers); when a
+	// creation cannot be served locally it is re-auctioned among them.
+	// peerRoutes maps a forwarded creation's local VMID to the peer
+	// serving it (guarded by mu: debug endpoints snapshot it from
+	// outside the kernel). Rebuilt from creation-forward records on
+	// Restart, so forwarding tables survive daemon deaths.
+	peers      []PeerHandle
+	peerRoutes map[core.VMID]peerRoute
+
 	// CacheAds enables classad caching (paper: "VMShop may, however,
 	// cache classad information … to speed up queries").
 	CacheAds bool
@@ -100,6 +109,10 @@ type Shop struct {
 	mDedups         *telemetry.Counter
 	mRedrives       *telemetry.Counter
 	mReconciled     *telemetry.Counter
+	mPeerBidRounds  *telemetry.Counter
+	mForwards       *telemetry.Counter
+	mForwardFails   *telemetry.Counter
+	mServedForwards *telemetry.Counter
 }
 
 // BidRecord is one bidding round's outcome.
@@ -113,15 +126,16 @@ type BidRecord struct {
 // tie-breaking deterministically.
 func New(name string, plants []PlantHandle, seed int64) *Shop {
 	return &Shop{
-		name:     name,
-		plants:   plants,
-		rng:      sim.NewRNG(seed),
-		routes:   make(map[core.VMID]PlantHandle),
-		cache:    make(map[core.VMID]*classad.Ad),
-		breakers: make(map[string]*breaker),
-		inflight: make(map[string]int),
-		intents:  make(map[core.VMID]*intent),
-		byReq:    make(map[string]core.VMID),
+		name:       name,
+		plants:     plants,
+		rng:        sim.NewRNG(seed),
+		routes:     make(map[core.VMID]PlantHandle),
+		cache:      make(map[core.VMID]*classad.Ad),
+		peerRoutes: make(map[core.VMID]peerRoute),
+		breakers:   make(map[string]*breaker),
+		inflight:   make(map[string]int),
+		intents:    make(map[core.VMID]*intent),
+		byReq:      make(map[string]core.VMID),
 	}
 }
 
@@ -170,6 +184,10 @@ func (s *Shop) SetTelemetry(h *telemetry.Hub) {
 	s.mDedups = h.Counter("shop.deduped_creates")
 	s.mRedrives = h.Counter("shop.redriven_creates")
 	s.mReconciled = h.Counter("shop.reconciled_creates")
+	s.mPeerBidRounds = h.Counter("shop.peer_bid_rounds")
+	s.mForwards = h.Counter("shop.forwarded_creates")
+	s.mForwardFails = h.Counter("shop.forward_failures")
+	s.mServedForwards = h.Counter("shop.served_forwards")
 }
 
 // mintID assigns the next VMID (paper: "a VMShop-assigned unique
@@ -258,6 +276,15 @@ func (s *Shop) createAs(p *sim.Proc, id core.VMID, spec *core.Spec) (_ *classad.
 		bidSp.SetInt("feasible", int64(len(feasible))).End(p)
 		if len(feasible) == 0 {
 			s.logBid(rec)
+			// Hierarchical bidding: before giving up, re-auction the
+			// request among the peer cells (client-originated requests
+			// only — a forwarded request never hops twice).
+			if fad, handled, ferr := s.tryForward(p, id, spec); handled {
+				if ferr == nil {
+					s.flight.Record(p, string(id), telemetry.EvCreated, "peer")
+				}
+				return fad, ferr
+			}
 			return nil, s.abortCreation(p, id, fmt.Errorf("shop %s: no plant can satisfy the request", s.name))
 		}
 		// Dispatch to the cheapest bidder; on a transient failure
@@ -313,6 +340,14 @@ func (s *Shop) createAs(p *sim.Proc, id core.VMID, spec *core.Spec) (_ *classad.
 		// their breaker, or missed the round's deadline).
 	}
 	s.logBid(rec)
+	// Every local plant failed transiently; a peer cell may still be
+	// able to serve the request.
+	if fad, handled, ferr := s.tryForward(p, id, spec); handled {
+		if ferr == nil {
+			s.flight.Record(p, string(id), telemetry.EvCreated, "peer")
+		}
+		return fad, ferr
+	}
 	// Safe to abort: every transient failure path destroyed its partial
 	// clone plant-side, so no VM exists anywhere under this VMID.
 	return nil, s.abortCreation(p, id, fmt.Errorf("shop %s: every feasible plant failed to create the VM", s.name))
@@ -498,6 +533,7 @@ func (s *Shop) Recover(p *sim.Proc) (routes int, unreachable []string) {
 		s.noteSuccess(h.Name())
 		for _, id := range ids {
 			s.routes[id] = h
+			s.journalRouteLearn(p, id, h.Name())
 			routes++
 		}
 	}
@@ -517,9 +553,32 @@ func without(hs []PlantHandle, drop PlantHandle) []PlantHandle {
 
 // Query returns an active VM's classad. Unknown routes trigger
 // recovery: the shop asks every plant, rebuilding its soft state.
+// Forwarded creations are routed to the peer cell serving them.
 func (s *Shop) Query(p *sim.Proc, id core.VMID) (*classad.Ad, error) {
 	if s.down {
 		return nil, ErrShopDown
+	}
+	if pr, ok := s.peerRouteOf(id); ok {
+		ad, found, err := pr.peer.Query(p, pr.remote)
+		if err == nil && found {
+			if s.CacheAds {
+				s.cache[id] = ad.Clone()
+			}
+			return ad, nil
+		}
+		if err == nil && !found {
+			// The peer no longer holds the VM (collected there); the
+			// cross-cell route is stale.
+			s.dropPeerRoute(id)
+			delete(s.cache, id)
+		}
+		// Peer unreachable: fall through to the stale-cache answer.
+		if s.CacheAds {
+			if ad, ok := s.cache[id]; ok {
+				return ad.Clone(), nil
+			}
+		}
+		return nil, fmt.Errorf("shop %s: peer %s serving VM %s is unreachable", s.name, pr.peer.Name(), id)
 	}
 	if h, ok := s.routes[id]; ok {
 		ad, found, err := h.Query(p, id)
@@ -559,6 +618,7 @@ func (s *Shop) recover(p *sim.Proc, id core.VMID) (*classad.Ad, bool) {
 			continue
 		}
 		s.routes[id] = h
+		s.journalRouteLearn(p, id, h.Name())
 		if s.CacheAds {
 			s.cache[id] = ad.Clone()
 		}
@@ -569,10 +629,24 @@ func (s *Shop) recover(p *sim.Proc, id core.VMID) (*classad.Ad, bool) {
 
 // Destroy collects a VM. With a journal attached, a route-drop record
 // makes the departure durable, so a restarted shop neither routes to
-// nor re-drives a VM the client already destroyed.
+// nor re-drives a VM the client already destroyed. Forwarded creations
+// are collected in the peer cell serving them.
 func (s *Shop) Destroy(p *sim.Proc, id core.VMID) error {
 	if s.down {
 		return ErrShopDown
+	}
+	if pr, ok := s.peerRouteOf(id); ok {
+		found, err := pr.peer.Collect(p, pr.remote)
+		if err != nil {
+			return err
+		}
+		s.dropPeerRoute(id)
+		delete(s.cache, id)
+		s.journalDrop(p, id)
+		if !found {
+			return fmt.Errorf("shop %s: VM %s no longer exists on peer %s", s.name, id, pr.peer.Name())
+		}
+		return nil
 	}
 	h, ok := s.routes[id]
 	if !ok {
@@ -595,8 +669,13 @@ func (s *Shop) Destroy(p *sim.Proc, id core.VMID) error {
 }
 
 // Publish checkpoints an active VM into the warehouse as a new golden
-// image, routed to the hosting plant.
+// image, routed to the hosting plant — or to the peer cell serving a
+// forwarded creation (the image lands in that cell's warehouse and
+// reaches this one through catalog gossip).
 func (s *Shop) Publish(p *sim.Proc, id core.VMID, image string) error {
+	if pr, ok := s.peerRouteOf(id); ok {
+		return pr.peer.Publish(p, pr.remote, image)
+	}
 	h, ok := s.routes[id]
 	if !ok {
 		if _, found := s.recover(p, id); !found {
@@ -618,6 +697,9 @@ func (s *Shop) Resume(p *sim.Proc, id core.VMID) error {
 }
 
 func (s *Shop) lifecycle(p *sim.Proc, id core.VMID, op string) error {
+	if pr, ok := s.peerRouteOf(id); ok {
+		return pr.peer.Lifecycle(p, pr.remote, op)
+	}
 	h, ok := s.routes[id]
 	if !ok {
 		if _, found := s.recover(p, id); !found {
@@ -654,10 +736,29 @@ func requestAd(spec *core.Spec) (*classad.Ad, error) {
 }
 
 // RouteOf reports which plant the shop believes hosts the VM ("" when
-// unknown) — used by tests and the experiment harness.
+// unknown) — used by tests and the experiment harness. A forwarded
+// creation reports "peer:<cell>".
 func (s *Shop) RouteOf(id core.VMID) string {
+	if pr, ok := s.peerRouteOf(id); ok {
+		return "peer:" + pr.peer.Name()
+	}
 	if h, ok := s.routes[id]; ok {
 		return h.Name()
 	}
 	return ""
+}
+
+// peerRouteOf reads a cross-cell route under the mutex (debug endpoints
+// snapshot the table from outside the kernel).
+func (s *Shop) peerRouteOf(id core.VMID) (peerRoute, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	pr, ok := s.peerRoutes[id]
+	return pr, ok
+}
+
+func (s *Shop) dropPeerRoute(id core.VMID) {
+	s.mu.Lock()
+	delete(s.peerRoutes, id)
+	s.mu.Unlock()
 }

@@ -43,6 +43,16 @@ type Options struct {
 	// Telemetry receives spans and metrics from the whole deployment
 	// (kernel, warehouse, every plant, shop); nil disables.
 	Telemetry *telemetry.Hub
+	// Kernel, when set, makes the deployment join an existing simulation
+	// kernel instead of creating its own — how a federation experiment
+	// runs several cells in one virtual timeline. Each deployment still
+	// gets its own testbed (and so its own NFS server: cells shard
+	// storage bandwidth the way separate sites do).
+	Kernel *sim.Kernel
+	// CellName names the shop (default "shop"). In a federation every
+	// cell needs a distinct shop name; plant names are qualified with it
+	// too, since every testbed repeats node00, node01, ….
+	CellName string
 }
 
 // withDefaults fills unset options.
@@ -61,6 +71,9 @@ func (o Options) withDefaults() Options {
 	}
 	if o.CostModelName == "" {
 		o.CostModelName = "free-memory"
+	}
+	if o.CellName == "" {
+		o.CellName = "shop"
 	}
 	return o
 }
@@ -85,8 +98,11 @@ func GoldenName(memMB int, backend string) string {
 // golden workspace images, one plant per node, and a shop in front.
 func NewDeployment(opts Options) (*Deployment, error) {
 	opts = opts.withDefaults()
-	k := sim.NewKernel()
-	k.SetTelemetry(opts.Telemetry)
+	k := opts.Kernel
+	if k == nil {
+		k = sim.NewKernel()
+		k.SetTelemetry(opts.Telemetry)
+	}
 	params := cluster.DefaultParams()
 	if opts.ClusterParams != nil {
 		params = *opts.ClusterParams
@@ -123,13 +139,17 @@ func NewDeployment(opts Options) (*Deployment, error) {
 		cfg := opts.PlantConfig
 		cfg.CostModel = model
 		cfg.Telemetry = opts.Telemetry
-		pl := plant.New(node.Name(), node, wh, cfg)
+		pname := node.Name()
+		if opts.CellName != "shop" {
+			pname = opts.CellName + "/" + pname
+		}
+		pl := plant.New(pname, node, wh, cfg)
 		h := shop.NewLocalHandle(pl)
 		d.Plants = append(d.Plants, pl)
 		d.Handles = append(d.Handles, h)
 		phs = append(phs, h)
 	}
-	d.Shop = shop.New("shop", phs, opts.Seed+1)
+	d.Shop = shop.New(opts.CellName, phs, opts.Seed+1)
 	d.Shop.SetTelemetry(opts.Telemetry)
 	return d, nil
 }

@@ -1,0 +1,78 @@
+package workload
+
+import (
+	"strings"
+	"testing"
+)
+
+// A scaled-down federation run: the hot cell must overflow into its
+// peer, the armed kill must land mid-forward and be repaired, and the
+// exactly-once audit must hold across both cells.
+func TestFederationSmallRunExactlyOnce(t *testing.T) {
+	opts := FederationOptions{
+		Cells:                  2,
+		PlantsPerCell:          2,
+		MaxVMs:                 2,
+		ThroughputRequests:     12,
+		IntegrityPlantsPerCell: 2,
+		IntegrityRequests:      8,
+		// 12 requests over 8 slots: the second generation must outlive
+		// the first generation's create+hold, so clients need patience.
+		ClientRetries: 40,
+	}
+	res, err := RunFederation(5, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Succeeded != res.Requests {
+		t.Errorf("integrity wave served %d/%d", res.Succeeded, res.Requests)
+	}
+	if res.Forwarded == 0 || res.ServedForwards == 0 {
+		t.Errorf("hot cell never overflowed: forwarded=%d served=%d", res.Forwarded, res.ServedForwards)
+	}
+	if res.ShopKills != 1 || res.ShopRestarts != 1 {
+		t.Errorf("kill/restart = %d/%d, want 1/1", res.ShopKills, res.ShopRestarts)
+	}
+	if res.Lost != 0 || res.Duplicated != 0 {
+		t.Errorf("exactly-once violated: lost=%d duplicated=%d", res.Lost, res.Duplicated)
+	}
+	if res.FederatedSucceeded != res.ThroughputRequests {
+		t.Errorf("federated stream served %d/%d", res.FederatedSucceeded, res.ThroughputRequests)
+	}
+	if res.BaselineSucceeded == 0 || res.Speedup <= 1 {
+		t.Errorf("no scale-out signal: baseline=%d speedup=%.2f", res.BaselineSucceeded, res.Speedup)
+	}
+	if len(res.Journals) != opts.Cells {
+		t.Errorf("captured %d cell journals, want %d", len(res.Journals), opts.Cells)
+	}
+	if res.Fingerprint == "" || !strings.Contains(res.Fingerprint, "lost=0 dup=0") {
+		t.Errorf("fingerprint missing audit line:\n%s", res.Fingerprint)
+	}
+}
+
+// Same seed, same options: the whole two-phase run must replay
+// byte-identically — the property the CI determinism gate leans on.
+func TestFederationDeterministicFingerprint(t *testing.T) {
+	if testing.Short() {
+		t.Skip("double federation run in -short mode")
+	}
+	opts := FederationOptions{
+		Cells:                  2,
+		PlantsPerCell:          2,
+		MaxVMs:                 2,
+		ThroughputRequests:     8,
+		IntegrityPlantsPerCell: 2,
+		IntegrityRequests:      8,
+	}
+	a, err := RunFederation(7, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := RunFederation(7, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Fingerprint != b.Fingerprint {
+		t.Error("same-seed federation reruns diverged")
+	}
+}
