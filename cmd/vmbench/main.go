@@ -271,9 +271,32 @@ func main() {
 			speedup := res.SpeedupOver(16, 1)
 			fmt.Printf("\nbatch-16 vs batch-1 throughput: %.1f×\n", speedup)
 			fmt.Printf("serial vs batch single-request creation log byte-identical: %v\n", res.DeterminismOK)
+
+			vms := 8
+			if *series == "smoke" {
+				vms = 4
+			}
+			cmp, err := workload.RunCloneComparison(*seed, vms, 64)
+			if err != nil {
+				log.Fatalf("vmbench: %v", err)
+			}
+			fmt.Println("\nLazy vs eager cloning (content-addressed extent store):")
+			for _, line := range cmp.Report() {
+				fmt.Println(line)
+			}
+			if *artifacts != "" {
+				if err := dumpPipelineArtifacts(*artifacts, res, cmp); err != nil {
+					log.Fatalf("vmbench: artifacts: %v", err)
+				}
+				fmt.Printf("artifacts written to %s\n", *artifacts)
+			}
 			if speedup < 3 || !res.DeterminismOK {
 				log.Fatalf("vmbench: pipeline run failed its invariants (speedup %.2f× < 3, deterministic %v)",
 					speedup, res.DeterminismOK)
+			}
+			if cmp.ResumeSpeedup < 2 || !cmp.HashesMatch || !cmp.AllHydrated || !cmp.DeterminismOK {
+				log.Fatalf("vmbench: lazy-clone comparison failed its invariants (resume speedup %.2f× < 2, hashes %v, hydrated %v, deterministic %v)",
+					cmp.ResumeSpeedup, cmp.HashesMatch, cmp.AllHydrated, cmp.DeterminismOK)
 			}
 		},
 		"warm": func() {
@@ -300,6 +323,10 @@ func main() {
 				!res.SeedsIntact || res.Failed != 0 || !reproducible {
 				log.Fatalf("vmbench: warm run failed its invariants (improvement %.1f%% < 30%%, retirements %d, over-budget %v, seeds intact %v, failed %d, reproducible %v)",
 					100*res.Improvement, res.Retirements, overBudget, res.SeedsIntact, res.Failed, reproducible)
+			}
+			if res.ExtentSavedBytes <= 0 {
+				log.Fatalf("vmbench: warm run saved no extent bytes (logical %d, physical %d) — content-addressed dedup is not engaging",
+					res.ExtentLogicalBytes, res.ExtentPhysicalBytes)
 			}
 		},
 		"scrub": func() {
@@ -505,6 +532,31 @@ func dumpFederationArtifacts(dir string, res *workload.FederationResult) error {
 		return err
 	}
 	if err := telemetry.WriteChromeTrace(f, res.Spans); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+// dumpPipelineArtifacts writes the batch sweep and the lazy-vs-eager
+// clone comparison (dedup ratio, hydration lag, per-VM hashes) as JSON
+// into dir, so a red CI matrix job stays debuggable without a local
+// repro.
+func dumpPipelineArtifacts(dir string, res *workload.PipelineResult, cmp *workload.CloneComparison) error {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return err
+	}
+	f, err := os.Create(filepath.Join(dir, "pipeline-metrics.json"))
+	if err != nil {
+		return err
+	}
+	enc := json.NewEncoder(f)
+	enc.SetIndent("", "  ")
+	payload := struct {
+		Batches    []workload.BatchPoint
+		Comparison *workload.CloneComparison
+	}{res.Batches, cmp}
+	if err := enc.Encode(payload); err != nil {
 		f.Close()
 		return err
 	}

@@ -84,6 +84,13 @@ const (
 	VMCreated Kind = "vm-created"
 	// VMCollected records a VM leaving a plant (collect or migration).
 	VMCollected Kind = "vm-collected"
+	// ExtentPut records one reference taken on a content-addressed
+	// extent in the warehouse's extent store (key = content key, hex);
+	// "size" and "sum" carry what replay needs to rebuild the entry.
+	ExtentPut Kind = "extent-put"
+	// ExtentRelease records one reference released; a key whose puts and
+	// releases balance has left the store (and the volume).
+	ExtentRelease Kind = "extent-release"
 )
 
 // Endpoint kinds carried in a route-change record's "endpoint" field.

@@ -1,0 +1,161 @@
+package plant
+
+import (
+	"fmt"
+	"testing"
+	"time"
+
+	"vmplants/internal/core"
+	"vmplants/internal/sim"
+	"vmplants/internal/vdisk"
+)
+
+// A lazy clone must resume well before a full-copy clone could (only
+// config + redo + memory on the critical path), then converge: the
+// background hydrator materializes every extent, and the end-state disk
+// content is identical to an eager clone's.
+func TestLazyCloneResumesEarlyAndHydrates(t *testing.T) {
+	eager := newRig(t, Config{CloneMode: vdisk.CloneByCopy})
+	var eagerSecs time.Duration
+	var eagerHash uint64
+	eager.run(t, func(p *sim.Proc) {
+		start := p.Now()
+		if _, err := eager.pl.Create(p, "vm-x", spec(t, "alice")); err != nil {
+			t.Errorf("eager create: %v", err)
+			return
+		}
+		eagerSecs = p.Now() - start
+		vm, _ := eager.pl.VM("vm-x")
+		eagerHash = vm.Disk().ContentHash()
+	})
+
+	lazy := newRig(t, Config{CloneMode: vdisk.CloneByLazy})
+	var lazySecs time.Duration
+	var lazyHash uint64
+	lazy.run(t, func(p *sim.Proc) {
+		start := p.Now()
+		if _, err := lazy.pl.Create(p, "vm-x", spec(t, "alice")); err != nil {
+			t.Errorf("lazy create: %v", err)
+			return
+		}
+		lazySecs = p.Now() - start
+		vm, _ := lazy.pl.VM("vm-x")
+		lazyHash = vm.Disk().ContentHash()
+	})
+	// run() drains the kernel, so the hydrator has finished by here.
+	if !lazy.pl.AllHydrated() {
+		t.Fatal("hydration did not complete")
+	}
+	if lazySecs >= eagerSecs/2 {
+		t.Errorf("lazy create %v not well below eager %v", lazySecs, eagerSecs)
+	}
+	if lazyHash != eagerHash {
+		t.Errorf("end-state ContentHash differs: lazy %016x, eager %016x", lazyHash, eagerHash)
+	}
+	log := lazy.pl.HydrationLog()
+	if len(log) != 1 {
+		t.Fatalf("hydration log has %d entries: %+v", len(log), log)
+	}
+	hs := log[0]
+	if hs.Aborted {
+		t.Errorf("hydration recorded as aborted: %+v", hs)
+	}
+	if hs.Extents != len(lazy.wh.List()) && hs.Extents <= 0 {
+		t.Errorf("hydration extents = %d", hs.Extents)
+	}
+	if hs.CompleteSecs <= hs.ResumeSecs {
+		t.Errorf("complete %.1fs not after resume %.1fs", hs.CompleteSecs, hs.ResumeSecs)
+	}
+	// The guest's configuration actions wrote blocks while extents were
+	// still landing: the demand-fault path must have served them (the
+	// touched extent is mid-disk; the hydrator starts at extent 0).
+	if hs.DemandFaults == 0 {
+		t.Log("no demand faults — all touches landed after hydration; acceptable but unusual")
+	}
+	// Every extent the clone's disk directory should hold is local.
+	vm, ok := lazy.pl.VM("vm-x")
+	if !ok {
+		t.Fatal("lazy VM not in info system")
+	}
+	local := vm.Node().LocalDisk()
+	for i := 0; i < hs.Extents; i++ {
+		path := fmt.Sprintf("vms/vm-x/disk-s%03d.vmdk", i)
+		if _, err := local.Stat(path); err != nil {
+			t.Errorf("extent %s not materialized locally: %v", path, err)
+		}
+	}
+}
+
+// Collecting a VM mid-hydration cancels the hydrator cleanly: the
+// kernel reaches quiescence (no stranded proc) and the hydration is
+// logged as aborted.
+func TestCollectCancelsHydration(t *testing.T) {
+	r := newRig(t, Config{CloneMode: vdisk.CloneByLazy})
+	r.run(t, func(p *sim.Proc) {
+		if _, err := r.pl.Create(p, "vm-doomed", spec(t, "bob")); err != nil {
+			t.Errorf("create: %v", err)
+			return
+		}
+		// Collect immediately: the hydrator is still copying extents.
+		if err := r.pl.Collect(p, core.VMID("vm-doomed")); err != nil {
+			t.Errorf("collect: %v", err)
+		}
+	})
+	log := r.pl.HydrationLog()
+	if len(log) != 1 {
+		t.Fatalf("hydration log has %d entries", len(log))
+	}
+	if !log[0].Aborted {
+		t.Error("cancelled hydration not recorded as aborted")
+	}
+	if r.pl.AllHydrated() {
+		t.Error("AllHydrated true after an aborted hydration")
+	}
+}
+
+// The epoch gate extends to late-arriving extents: quarantining the
+// golden image while a lazy clone is still hydrating must poison the
+// hydration, and subsequent guest disk touches must fail rather than
+// read suspect state.
+func TestQuarantineMidHydrationPoisonsLazyClone(t *testing.T) {
+	r := newRig(t, Config{CloneMode: vdisk.CloneByLazy})
+	r.run(t, func(p *sim.Proc) {
+		if _, err := r.pl.Create(p, "vm-poisoned", spec(t, "carol")); err != nil {
+			t.Errorf("create: %v", err)
+			return
+		}
+		// Quarantine while the hydrator is mid-stream (the first extent
+		// copy takes minutes of virtual time at NFS bandwidth).
+		if !r.wh.Quarantine("ws-golden", "scrub: checksum mismatch") {
+			t.Error("quarantine refused")
+		}
+	})
+	log := r.pl.HydrationLog()
+	if len(log) != 1 || !log[0].Aborted {
+		t.Fatalf("hydration should have aborted on quarantine: %+v", log)
+	}
+	if r.pl.AllHydrated() {
+		t.Error("AllHydrated true after a poisoned hydration")
+	}
+}
+
+// Precreate under lazy mode parks link clones (a suspended VM cannot
+// demand-fault), and resuming one needs no hydration.
+func TestPrecreateFallsBackToLinkUnderLazy(t *testing.T) {
+	r := newRig(t, Config{CloneMode: vdisk.CloneByLazy})
+	r.run(t, func(p *sim.Proc) {
+		if err := r.pl.Precreate(p, "ws-golden", 1); err != nil {
+			t.Errorf("precreate: %v", err)
+			return
+		}
+		if _, err := r.pl.Create(p, "vm-pool", spec(t, "dave")); err != nil {
+			t.Errorf("create: %v", err)
+		}
+	})
+	if got := len(r.pl.HydrationLog()); got != 0 {
+		t.Errorf("pool hit started %d hydrations, want 0", got)
+	}
+	if !r.pl.AllHydrated() {
+		t.Error("AllHydrated false with no lazy clones outstanding")
+	}
+}

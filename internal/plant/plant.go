@@ -130,6 +130,16 @@ type Plant struct {
 	// state-copies in flight (see admission.go). Only kernel processes
 	// touch it, so it needs no lock.
 	cloneGate *sim.Resource
+	// hydrateGate is the sibling gate for lazy-clone background
+	// hydration (see hydrate.go): the deferred extent copies contend on
+	// the same host disk pipes the clone stage does, so they are bounded
+	// the same way — without stealing the clone gate's slots from
+	// foreground creations.
+	hydrateGate *sim.Resource
+	// live tracks the in-service lazy clones' hydrations (guarded by mu;
+	// hydrations is the closed-out log).
+	live       map[core.VMID]*hydration
+	hydrations []HydrationStats
 	// host models the host-side runtime state that survives a daemon
 	// death: the production line's VM processes keep running when the
 	// management daemon dies. It is maintained continuously — a record
@@ -170,6 +180,12 @@ type Plant struct {
 	gCloneInflightMax *telemetry.Gauge
 	gAdmissionQueue   *telemetry.Gauge
 	hAdmissionWait    *telemetry.Histogram
+
+	mDemandFaults      *telemetry.Counter
+	mHydratedExtents   *telemetry.Counter
+	mHydrationAborts   *telemetry.Counter
+	hHydrationLag      *telemetry.Histogram
+	hHydrationComplete *telemetry.Histogram
 }
 
 // CreateStats records one successful creation's breakdown.
@@ -224,6 +240,7 @@ func New(name string, node *cluster.Node, wh *warehouse.Warehouse, cfg Config) *
 		info:   NewInfoSystem(),
 		pool:   make(map[string][]precreated),
 		host:   make(map[core.VMID]*record),
+		live:   make(map[core.VMID]*hydration),
 		rng:    rng,
 		faults: faults,
 
@@ -251,12 +268,19 @@ func New(name string, node *cluster.Node, wh *warehouse.Warehouse, cfg Config) *
 		gCloneInflightMax: tel.Gauge("plant.clone_inflight_max"),
 		gAdmissionQueue:   tel.Gauge("plant.admission_queue"),
 		hAdmissionWait:    tel.Histogram("plant.admission_wait_secs"),
+
+		mDemandFaults:      tel.Counter("plant.demand_faults"),
+		mHydratedExtents:   tel.Counter("plant.hydrated_extents"),
+		mHydrationAborts:   tel.Counter("plant.hydration_aborts"),
+		hHydrationLag:      tel.Histogram("plant.hydration_lag_secs"),
+		hHydrationComplete: tel.Histogram("plant.hydration_complete_secs"),
 	}
 	slots := cfg.CloneSlots
 	if slots <= 0 {
 		slots = pl.deriveCloneSlots()
 	}
 	pl.cloneGate = sim.NewResource(name+"/clone-slots", slots)
+	pl.hydrateGate = sim.NewResource(name+"/hydrate-slots", slots)
 	return pl
 }
 
@@ -538,7 +562,21 @@ func (pl *Plant) Create(p *sim.Proc, id core.VMID, spec *core.Spec) (_ *classad.
 	// The state copy is done: free the slot before configuration, which
 	// contends on guest CPU rather than host disk.
 	releaseSlot()
+	// Lazy clone: the VM resumed without its disk extents. Hand the rest
+	// of the state copy to the background hydrator and install the
+	// demand-fault hook before any guest action can touch the disk.
+	// (Pool hits were parked as link clones and need neither.)
+	var hyd *hydration
+	if cloneStats.Mode == vdisk.CloneByLazy && !hit {
+		hyd = pl.startHydration(p, vm, cctx, start)
+	}
+	cancelHyd := func() {
+		if hyd != nil {
+			hyd.cancel(p)
+		}
+	}
 	if err := vm.AttachNIC(honet, pl.macs.Next()); err != nil {
+		cancelHyd()
 		vm.Collect(p)
 		releaseNet()
 		releaseRef()
@@ -549,6 +587,7 @@ func (pl *Plant) Create(p *sim.Proc, id core.VMID, spec *core.Spec) (_ *classad.
 	// nothing is orphaned; the plant stays down until Recover.
 	if pl.faults.Should(pl.name, fault.PlantCrash, "create") {
 		pl.flight.Record(p, string(id), telemetry.EvFaultInjected, "plant-crash")
+		cancelHyd()
 		vm.Collect(p)
 		releaseNet()
 		releaseRef()
@@ -561,6 +600,7 @@ func (pl *Plant) Create(p *sim.Proc, id core.VMID, spec *core.Spec) (_ *classad.
 		SetInt("nodes", int64(len(best.Result.Residual)))
 	cfgStart := p.Now()
 	if err := pl.configure(p, vm, spec.Graph, best.Result.Residual, cfgSp); err != nil {
+		cancelHyd()
 		vm.Collect(p)
 		releaseNet()
 		releaseRef()
@@ -863,6 +903,14 @@ func (pl *Plant) Collect(p *sim.Proc, id core.VMID) error {
 	if !ok {
 		return fmt.Errorf("plant %s: no VM %s", pl.name, id)
 	}
+	pl.mu.Lock()
+	hyd := pl.live[id]
+	pl.mu.Unlock()
+	if hyd != nil {
+		// Stop hydrating state nobody will read; the hydrator finishes
+		// its in-flight extent and exits.
+		hyd.cancel(p)
+	}
 	if err := r.vm.Collect(p); err != nil {
 		return err
 	}
@@ -943,6 +991,15 @@ func (pl *Plant) MigrateTo(p *sim.Proc, id core.VMID, dst *Plant) (err error) {
 	vm := r.vm
 	if vm.State() != vmm.Running {
 		return fmt.Errorf("plant %s: VM %s is %s; cannot migrate", pl.name, id, vm.State())
+	}
+	pl.mu.Lock()
+	hyd := pl.live[id]
+	pl.mu.Unlock()
+	if hyd != nil && !hyd.Done() {
+		// A lazy clone still hydrating has extents landing on this node's
+		// local disk; moving it mid-stream would strand them. Migration
+		// waits for the hydrator (or the caller retries).
+		return fmt.Errorf("plant %s: VM %s still hydrating; cannot migrate", pl.name, id)
 	}
 	dstNet, _, err := dst.nets.Acquire(r.domain)
 	if err != nil {
@@ -1028,13 +1085,20 @@ func (pl *Plant) Precreate(p *sim.Proc, image string, count int) (err error) {
 	if err != nil {
 		return err
 	}
+	// A parked clone has no hydrator (nothing should be copying under a
+	// suspended VM), so speculation under lazy mode falls back to link
+	// cloning — still off the critical path, just eager.
+	mode := pl.cfg.CloneMode
+	if mode == vdisk.CloneByLazy {
+		mode = vdisk.CloneByLink
+	}
 	for i := 0; i < count; i++ {
 		pl.mu.Lock()
 		pl.poolSeq++
 		seq := pl.poolSeq
 		pl.mu.Unlock()
 		id := core.VMID(fmt.Sprintf("pre-%s-%d", pl.name, seq))
-		vm, cs, err := backend.Clone(p, pl.node, golden, id, pl.cfg.CloneMode)
+		vm, cs, err := backend.Clone(p, pl.node, golden, id, mode)
 		if err != nil {
 			return fmt.Errorf("plant %s: precreate: %w", pl.name, err)
 		}

@@ -64,6 +64,43 @@ func (im *Image) SizeBytes() int64 { return int64(im.sizeMB) * 1024 * 1024 }
 // blockCount returns the number of addressable blocks.
 func (im *Image) blockCount() int64 { return im.SizeBytes() / BlockSize }
 
+// ExtentContentHash digests the base-image content of the i-th extent
+// file: the non-zero blocks whose addresses fall in that extent's span,
+// in address order. Two extents with identical content — notably the
+// all-zero extents of sparse installer images — hash identically, which
+// is what lets a content-addressed store share one physical copy across
+// every image carrying them.
+func (im *Image) ExtentContentHash(i int) uint64 {
+	per := im.blockCount() / int64(im.spanFiles)
+	lo := int64(i) * per
+	hi := lo + per
+	if i == im.spanFiles-1 {
+		hi = im.blockCount()
+	}
+	var idxs []int64
+	for idx := range im.blocks {
+		if idx >= lo && idx < hi {
+			idxs = append(idxs, idx)
+		}
+	}
+	sort.Slice(idxs, func(a, b int) bool { return idxs[a] < idxs[b] })
+	h := fnv.New64a()
+	buf := make([]byte, 8)
+	var zero [BlockSize]byte
+	for _, idx := range idxs {
+		b := im.blocks[idx]
+		if string(b) == string(zero[:]) {
+			continue
+		}
+		for j := 0; j < 8; j++ {
+			buf[j] = byte(idx >> (8 * j))
+		}
+		h.Write(buf)
+		h.Write(b)
+	}
+	return h.Sum64()
+}
+
 // Populate writes raw content into the base image at creation time (an
 // installer writing the initial OS). It is the only mutation an Image
 // permits and must happen before the image is shared.
@@ -236,11 +273,19 @@ const (
 	// CloneByCopy duplicates the full base image as well — the slow
 	// baseline (≈210 s for the paper's 2 GB golden disk).
 	CloneByCopy
+	// CloneByLazy shares the base image like CloneByLink but defers even
+	// the extent links: the clone resumes after only config, redo and
+	// memory state land, and extents materialize in the background (or
+	// on demand when the guest touches them first).
+	CloneByLazy
 )
 
 func (m CloneMode) String() string {
-	if m == CloneByCopy {
+	switch m {
+	case CloneByCopy:
 		return "copy"
+	case CloneByLazy:
+		return "lazy"
 	}
 	return "link"
 }

@@ -104,6 +104,10 @@ func cloneDiskState(p *sim.Proc, node *cluster.Node, golden *warehouse.Image, id
 				return 0, 0, fmt.Errorf("vmm: copy extent: %w", err)
 			}
 			copied += n
+		case vdisk.CloneByLazy:
+			// Deferred: the plant's hydrator materializes this extent in
+			// the background after the VM resumes (or a guest touch
+			// faults it in first). Nothing is laid down here.
 		}
 	}
 	return copied, linked, nil

@@ -68,6 +68,18 @@ type VM struct {
 	// recorded actions plus everything executed on this instance, in
 	// order. Publishing the VM as a new golden image records it.
 	history []dag.Action
+
+	// blockTouch, when set, is consulted before every guest block write —
+	// the demand-fault seam for lazily cloned disks, whose extents may
+	// not be local yet. It blocks the guest until the touched block's
+	// extent is materialized, or fails the action.
+	blockTouch func(p *sim.Proc, block int64) error
+}
+
+// SetBlockTouchHook installs the pre-write hook lazy cloning uses to
+// fault extents in on demand (nil removes it).
+func (vm *VM) SetBlockTouchHook(fn func(p *sim.Proc, block int64) error) {
+	vm.blockTouch = fn
 }
 
 // History returns the VM's configuration lineage (golden history plus
@@ -286,6 +298,11 @@ func (vm *VM) ExecGuestAction(p *sim.Proc, a dag.Action) error {
 	copy(blk, fmt.Sprintf("config %s %s", vm.id, a.Op))
 	blocks := vm.disk.Base().SizeBytes() / vdisk.BlockSize
 	idx := (blocks/2 + int64(len(vm.guest.Outputs))) % blocks
+	if vm.blockTouch != nil {
+		if err := vm.blockTouch(p, idx); err != nil {
+			return fmt.Errorf("vmm: block %d fault: %w", idx, err)
+		}
+	}
 	if err := vm.disk.WriteBlock(idx, blk); err != nil {
 		return fmt.Errorf("vmm: config write: %w", err)
 	}

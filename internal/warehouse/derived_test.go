@@ -122,6 +122,7 @@ func TestPublishDerivedSharesParentExtents(t *testing.T) {
 	parent := seedImage(t, w, "seed")
 	seedBytes := w.BytesUsed()
 	seedFiles := len(w.Volume().List())
+	extentPhys := w.ExtentStatsNow().PhysicalBytes
 
 	im := derivedOf(t, parent, "derived-a", "matlab")
 	if err := w.PublishDerived(im, 10*time.Second); err != nil {
@@ -151,8 +152,11 @@ func TestPublishDerivedSharesParentExtents(t *testing.T) {
 	if added != im.Bytes() || added <= 0 {
 		t.Errorf("accounted %d bytes, image says %d", added, im.Bytes())
 	}
-	if added >= parent.Bytes() {
-		t.Errorf("derived accounting %d should be far below the parent's %d (no extents)", added, parent.Bytes())
+	// ...and no new extent state: the parent's extents are shared, not
+	// copied, so the content store's footprint is untouched.
+	if st := w.ExtentStatsNow(); st.PhysicalBytes != extentPhys {
+		t.Errorf("derived publish changed extent store physical bytes: %d -> %d",
+			extentPhys, st.PhysicalBytes)
 	}
 	// Removal releases the parent reference and the accounting.
 	if err := w.Remove("derived-a"); err != nil {
@@ -297,6 +301,32 @@ func TestRetirementNeverEvictsReferencedImages(t *testing.T) {
 	// Refused publication must not leak state files.
 	if _, ok := w.Lookup("derived-b"); ok {
 		t.Error("refused image registered")
+	}
+}
+
+// Regression (quarantined-use bugfix): NoteUse must not credit utility
+// to a quarantined image — it is unservable, so a "use" recorded while
+// it is out of service (a racing creation that bound just before the
+// quarantine landed) would inflate its retirement score with work it
+// never saved.
+func TestNoteUseIgnoredDuringQuarantine(t *testing.T) {
+	w := newWarehouse()
+	parent := seedImage(t, w, "seed")
+	a := derivedOf(t, parent, "derived-a", "matlab")
+	if err := w.PublishDerived(a, 1*time.Second); err != nil {
+		t.Fatal(err)
+	}
+	w.NoteUse("derived-a", 2, 2*time.Second)
+	w.Quarantine("derived-a", "operator hold")
+	w.NoteUse("derived-a", 5, 3*time.Second)
+	if a.Uses() != 1 || a.Utility() != 2 {
+		t.Errorf("uses=%d utility=%d; a use was credited during quarantine", a.Uses(), a.Utility())
+	}
+	// Back in service, uses count again.
+	w.Unquarantine("derived-a")
+	w.NoteUse("derived-a", 5, 4*time.Second)
+	if a.Uses() != 2 || a.Utility() != 7 {
+		t.Errorf("uses=%d utility=%d after unquarantine, want 2/7", a.Uses(), a.Utility())
 	}
 }
 

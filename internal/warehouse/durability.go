@@ -48,11 +48,26 @@ func (w *Warehouse) SetJournal(j *journal.Journal) {
 		if published[name] {
 			continue
 		}
+		im := w.images[name]
 		fields := map[string]string{"origin": "import"}
-		if im := w.images[name]; im.Derived {
+		if im.Derived {
 			fields["parent"] = im.Parent
 		}
 		w.journalEvent(journal.ImagePublish, name, fields)
+		if !im.Derived {
+			// Import the seed's extent references too, or a later
+			// Restart's replay would see a catalog entry with no put
+			// trail and rebuild the store short.
+			base := im.Disk.Base()
+			extent := base.SizeBytes() / int64(DiskSpanFiles)
+			for i := 0; i < DiskSpanFiles; i++ {
+				key := extentKey(extent, base.ExtentContentHash(i))
+				w.journalEvent(journal.ExtentPut, keyString(key), map[string]string{
+					"size": sizeString(extent),
+					"hash": keyString(base.ExtentContentHash(i)),
+				})
+			}
+		}
 	}
 }
 
@@ -79,6 +94,13 @@ type RestartStats struct {
 	// publish/retire history and the catalog scanned from the volume —
 	// zero on a healthy restart.
 	CatalogMismatch int
+	// ExtentRefsRebuilt is the extent-store reference count after replay
+	// and reconciliation.
+	ExtentRefsRebuilt int
+	// ExtentOrphansReleased is how many replayed references belonged to
+	// no cataloged image — the trail of a publish or retire the daemon
+	// died inside — and were released during reconciliation.
+	ExtentOrphansReleased int
 }
 
 // Restart models the warehouse daemon restarting: process memory — the
@@ -104,6 +126,7 @@ func (w *Warehouse) Restart() RestartStats {
 	}
 	published := make(map[string]bool)
 	restored := make(map[string]string)
+	extents := make(map[uint64]*extentEntry)
 	rst, _ := w.jnl.Replay(func(r journal.Record) error {
 		switch r.Kind {
 		case journal.ImagePublish:
@@ -115,6 +138,25 @@ func (w *Warehouse) Restart() RestartStats {
 			restored[r.Key] = r.Field("reason")
 		case journal.QuarantineExit:
 			delete(restored, r.Key)
+		case journal.ExtentPut:
+			key, okK := parseHex(r.Key)
+			size, okS := parseSize(r.Field("size"))
+			hash, okH := parseHex(r.Field("hash"))
+			if !okK || !okS || !okH {
+				return nil // damaged fields; reconciliation squares it
+			}
+			e := extents[key]
+			if e == nil {
+				e = &extentEntry{size: size, hash: hash}
+				extents[key] = e
+			}
+			e.refs++
+		case journal.ExtentRelease:
+			if key, ok := parseHex(r.Key); ok {
+				if e := extents[key]; e != nil {
+					e.refs--
+				}
+			}
 		}
 		return nil
 	})
@@ -146,5 +188,6 @@ func (w *Warehouse) Restart() RestartStats {
 	n := len(w.quarantine)
 	w.qmu.Unlock()
 	w.gQuarantine.Set(int64(n))
+	st.ExtentRefsRebuilt, st.ExtentOrphansReleased = w.reconcileExtents(extents)
 	return st
 }

@@ -1,0 +1,207 @@
+package warehouse
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+
+	"vmplants/internal/fault"
+)
+
+// Two seeds with byte-identical extents (both freshly installed sparse
+// images of the same size) must share physical extent storage: the
+// content-addressed store holds one copy per distinct extent, refcounted
+// by the images referencing it.
+func TestExtentDedupAcrossSeeds(t *testing.T) {
+	w := newWarehouse()
+	a := seedImage(t, w, "seed-a")
+	oneSeed := w.ExtentStatsNow()
+	if oneSeed.Entries == 0 || oneSeed.Refs != DiskSpanFiles {
+		t.Fatalf("one seed: %+v, want %d refs", oneSeed, DiskSpanFiles)
+	}
+	b := seedImage(t, w, "seed-b")
+	st := w.ExtentStatsNow()
+	if st.Entries != oneSeed.Entries {
+		t.Errorf("second identical seed added entries: %d -> %d", oneSeed.Entries, st.Entries)
+	}
+	if st.PhysicalBytes != oneSeed.PhysicalBytes {
+		t.Errorf("second identical seed added physical bytes: %d -> %d",
+			oneSeed.PhysicalBytes, st.PhysicalBytes)
+	}
+	if st.Refs != 2*DiskSpanFiles {
+		t.Errorf("refs = %d, want %d", st.Refs, 2*DiskSpanFiles)
+	}
+	if st.DedupRatio() < 2 {
+		t.Errorf("dedup ratio %.2f, want >= 2 for two identical seeds", st.DedupRatio())
+	}
+	for i, p := range a.ExtentPaths {
+		if p != b.ExtentPaths[i] {
+			t.Errorf("slot %d: %q != %q — identical content, different canonical path", i, p, b.ExtentPaths[i])
+		}
+	}
+
+	// Removing one referencing seed must not touch the shared copy...
+	if err := w.Remove("seed-a"); err != nil {
+		t.Fatal(err)
+	}
+	if got := w.ExtentStatsNow(); got.Refs != DiskSpanFiles || got.Entries != st.Entries {
+		t.Errorf("after first removal: %+v", got)
+	}
+	for _, p := range b.ExtentPaths {
+		if !w.Volume().Exists(p) {
+			t.Errorf("shared extent %s deleted while seed-b still references it", p)
+		}
+	}
+	// ...and removing the last reference deletes it.
+	if err := w.Remove("seed-b"); err != nil {
+		t.Fatal(err)
+	}
+	if got := w.ExtentStatsNow(); got.Entries != 0 || got.Refs != 0 {
+		t.Errorf("store not empty after last removal: %+v", got)
+	}
+	if files := w.Volume().List(); len(files) != 0 {
+		t.Errorf("volume holds %d files after all removals: %v", len(files), files)
+	}
+	if w.BytesUsed() != 0 {
+		t.Errorf("BytesUsed = %d after all removals", w.BytesUsed())
+	}
+}
+
+// The replica mirrors the store — one file per distinct extent, shared
+// by every seed — whether attached before or after the publishes, and a
+// released last reference cleans the replica copy too.
+func TestExtentReplicaMirrorsStore(t *testing.T) {
+	w := newWarehouse()
+	im := seedImage(t, w, "early")
+	replica := newReplica()
+	w.SetReplica(replica) // attach after: must catch up
+	for _, p := range im.ExtentPaths {
+		if !replica.Exists(p) {
+			t.Errorf("replica missing %s after late attach", p)
+		}
+	}
+	seedImage(t, w, "late") // attach before: mirrors as it lands
+	distinct := make(map[string]bool)
+	for _, p := range im.ExtentPaths {
+		distinct[p] = true
+	}
+	if files := replica.List(); len(files) != len(distinct) {
+		t.Errorf("replica holds %d files, want %d (one per distinct extent): %v",
+			len(files), len(distinct), files)
+	}
+	if err := w.Remove("early"); err != nil {
+		t.Fatal(err)
+	}
+	for _, p := range im.ExtentPaths {
+		if !replica.Exists(p) {
+			t.Errorf("replica copy of %s swept while a referencing seed lives", p)
+		}
+	}
+	if err := w.Remove("late"); err != nil {
+		t.Fatal(err)
+	}
+	if files := replica.List(); len(files) != 0 {
+		t.Errorf("replica leaked %d files after last reference: %v", len(files), files)
+	}
+}
+
+// crashWarehouse builds a journaled warehouse with one healthy seed and
+// a fault registry armed to kill the daemon at one specific store
+// operation index.
+func crashWarehouse(t *testing.T) (*Warehouse, *fault.Registry) {
+	t.Helper()
+	w := newWarehouse()
+	w.SetJournal(testJournal(t))
+	reg := fault.NewRegistry(1)
+	w.SetFaults(reg)
+	return w, reg
+}
+
+// Property-style kill-point sweep over publish: for every extent index
+// k, a daemon killed right before the k-th store acquire leaves k
+// journaled references with no cataloged owner. Restart's replay plus
+// reconciliation must rebuild exactly the surviving seed's refcounts and
+// release the k orphans — at every kill point.
+func TestExtentRefsRebuiltAfterCrashMidPublish(t *testing.T) {
+	for k := 0; k < DiskSpanFiles; k++ {
+		t.Run(fmt.Sprintf("kill-at-%d", k), func(t *testing.T) {
+			w, reg := crashWarehouse(t)
+			seedImage(t, w, "survivor")
+			reg.Arm(integritySite, fault.DaemonKill, fmt.Sprintf("publish:%d", k), 1)
+
+			im, err := BuildGolden("victim", hw(), BackendVMware, history())
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := w.Publish(im); err == nil || !strings.Contains(err.Error(), "killed") {
+				t.Fatalf("publish survived the kill point: err=%v", err)
+			}
+			if _, ok := w.Lookup("victim"); ok {
+				t.Fatal("killed publish registered the image")
+			}
+
+			st := w.Restart()
+			if st.ExtentRefsRebuilt != DiskSpanFiles {
+				t.Errorf("rebuilt %d refs, want %d", st.ExtentRefsRebuilt, DiskSpanFiles)
+			}
+			if st.ExtentOrphansReleased != k {
+				t.Errorf("released %d orphans, want %d", st.ExtentOrphansReleased, k)
+			}
+			got := w.ExtentStatsNow()
+			if got.Refs != DiskSpanFiles {
+				t.Errorf("store refs = %d after restart, want %d", got.Refs, DiskSpanFiles)
+			}
+			surv := w.images["survivor"]
+			for _, p := range surv.ExtentPaths {
+				if !w.Volume().Exists(p) {
+					t.Errorf("survivor extent %s missing after restart", p)
+				}
+			}
+			// A second restart replays the compensating releases and finds
+			// the books already balanced.
+			st = w.Restart()
+			if st.ExtentOrphansReleased != 0 || st.ExtentRefsRebuilt != DiskSpanFiles {
+				t.Errorf("second restart not balanced: %+v", st)
+			}
+		})
+	}
+}
+
+// The retire-side sweep: a daemon killed before releasing the k-th
+// extent reference leaves 16-k orphaned references (the retire record is
+// already durable, so the image is gone from the catalog). Restart must
+// release exactly those and keep the surviving seed's extents intact.
+func TestExtentRefsRebuiltAfterCrashMidRetire(t *testing.T) {
+	for k := 0; k < DiskSpanFiles; k++ {
+		t.Run(fmt.Sprintf("kill-at-%d", k), func(t *testing.T) {
+			w, reg := crashWarehouse(t)
+			seedImage(t, w, "survivor")
+			seedImage(t, w, "victim")
+			reg.Arm(integritySite, fault.DaemonKill, fmt.Sprintf("retire:%d", k), 1)
+
+			if err := w.Remove("victim"); err != nil {
+				t.Fatal(err)
+			}
+			if _, ok := w.Lookup("victim"); ok {
+				t.Fatal("killed retire left the image registered")
+			}
+
+			st := w.Restart()
+			if st.ExtentRefsRebuilt != DiskSpanFiles {
+				t.Errorf("rebuilt %d refs, want %d", st.ExtentRefsRebuilt, DiskSpanFiles)
+			}
+			if st.ExtentOrphansReleased != DiskSpanFiles-k {
+				t.Errorf("released %d orphans, want %d", st.ExtentOrphansReleased, DiskSpanFiles-k)
+			}
+			surv := w.images["survivor"]
+			for _, p := range surv.ExtentPaths {
+				if !w.Volume().Exists(p) {
+					t.Errorf("survivor extent %s missing after restart", p)
+				}
+			}
+			if got := w.ExtentStatsNow(); got.Refs != DiskSpanFiles {
+				t.Errorf("store refs = %d after restart, want %d", got.Refs, DiskSpanFiles)
+			}
+		})
+	}
+}

@@ -78,11 +78,15 @@ func (im *Image) stampSums(parent *Image) {
 	if im.MemImagePath != "" {
 		im.Sums[im.MemImagePath] = artifactSum(im.MemImagePath, im.MemImageBytes(), 0)
 	}
-	for _, p := range im.ExtentPaths {
+	for i, p := range im.ExtentPaths {
 		if parent != nil {
 			im.Sums[p] = parent.Sums[p]
 		} else {
-			im.Sums[p] = artifactSum(p, im.Disk.Base().SizeBytes()/int64(DiskSpanFiles), 0)
+			// Canonical store checksum: content-derived, so every image
+			// referencing the same extent records the same sum under the
+			// same path — which is what lets detect() poison by content.
+			extent := im.Disk.Base().SizeBytes() / int64(DiskSpanFiles)
+			im.Sums[p] = artifactSum(p, extent, im.Disk.Base().ExtentContentHash(i))
 		}
 	}
 }
@@ -148,23 +152,11 @@ func (w *Warehouse) SetReplica(vol *storage.Volume) {
 	if vol == nil {
 		return
 	}
-	for _, name := range w.List() {
-		w.mirror(w.images[name])
-	}
-}
-
-// mirror lays a seed image's extent files down on the replica volume
-// with their canonical checksums. Derived images carry no extents of
-// their own and are re-materializable, so they are not mirrored.
-func (w *Warehouse) mirror(im *Image) {
-	if w.replica == nil || im.Derived {
-		return
-	}
-	for _, p := range im.ExtentPaths {
-		if size, err := w.vol.Stat(p); err == nil {
-			w.replica.WriteMetaSum(p, size, im.Sums[p])
-		}
-	}
+	// Mirror the extent store, not per-image paths: one replica file per
+	// distinct extent, shared by every image referencing that content.
+	// Derived images carry no extents of their own and are
+	// re-materializable, so there is nothing of theirs to mirror.
+	w.mirrorExtents()
 }
 
 // Quarantine takes the named image out of service: matching skips it,

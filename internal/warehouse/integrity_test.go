@@ -24,8 +24,13 @@ func TestPublishRecordsChecksums(t *testing.T) {
 
 	// Every artifact — config, redo, mem image, extents, descriptor —
 	// carries a checksum, recorded identically in the image and in the
-	// volume namespace.
-	want := 3 + DiskSpanFiles + 1
+	// volume namespace. Extent slots are content-addressed, so
+	// byte-identical slots share one canonical path (and one sum entry).
+	distinct := make(map[string]bool)
+	for _, p := range im.ExtentPaths {
+		distinct[p] = true
+	}
+	want := 3 + len(distinct) + 1
 	if len(im.Sums) != want {
 		t.Fatalf("%d checksummed artifacts, want %d: %v", len(im.Sums), want, im.sumPaths())
 	}
@@ -322,6 +327,72 @@ func TestScrubRetiresUnrepairableDerivedNeverSeeds(t *testing.T) {
 	stats := w.ScrubStatsNow()
 	if stats.Retirements != 1 {
 		t.Errorf("scrub retirements = %d, want 1", stats.Retirements)
+	}
+}
+
+// Regression (replica-leak bugfix): removing a seed image must sweep
+// the mirrored extent copies SetReplica/mirror laid down on the replica
+// volume. The pre-fix unregister deleted from the primary volume only,
+// leaking every removed seed's extents on the replica forever.
+func TestRemoveSeedCleansReplicaMirror(t *testing.T) {
+	w := newWarehouse()
+	replica := newReplica()
+	w.SetReplica(replica)
+	im := seedImage(t, w, "mirrored")
+	for _, p := range im.ExtentPaths {
+		if !replica.Exists(p) {
+			t.Fatalf("extent %s not mirrored at publish", p)
+		}
+	}
+	paths := append([]string(nil), im.ExtentPaths...)
+	if err := w.Remove("mirrored"); err != nil {
+		t.Fatal(err)
+	}
+	for _, p := range paths {
+		if replica.Exists(p) {
+			t.Errorf("replica still holds mirrored extent %s after seed removal", p)
+		}
+	}
+	if files := replica.List(); len(files) != 0 {
+		t.Errorf("replica leaked %d files after removal: %v", len(files), files)
+	}
+}
+
+// Regression (quarantined-victim bugfix): capacity retirement must not
+// evict a quarantined derived image while the scrubber is mid-repair on
+// it — quarantined images leave through the scrubber's repair-limit
+// path, not capacity pressure. The pre-fix retireOne picked victims by
+// utility alone, and a quarantined image accrues none, making it the
+// natural (and wrong) victim.
+func TestRetirementSkipsQuarantinedVictims(t *testing.T) {
+	w := newWarehouse()
+	parent := seedImage(t, w, "seed")
+	a := derivedOf(t, parent, "derived-a", "matlab")
+	if err := w.PublishDerived(a, 1*time.Second); err != nil {
+		t.Fatal(err)
+	}
+	b := derivedOf(t, parent, "derived-b", "octave")
+	if err := w.PublishDerived(b, 2*time.Second); err != nil {
+		t.Fatal(err)
+	}
+	// derived-a is the lowest-utility image — but it is quarantined,
+	// mid-repair. The healthy derived-b must be the victim instead.
+	w.NoteUse("derived-b", 3, 3*time.Second)
+	w.Quarantine("derived-a", "scrub: checksum mismatch (repair pending)")
+
+	w.SetCapacity(w.BytesUsed() + 1<<20)
+	c := derivedOf(t, parent, "derived-c", "gnuplot")
+	if err := w.PublishDerived(c, 4*time.Second); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := w.Lookup("derived-a"); !ok {
+		t.Error("quarantined derived-a was evicted by capacity pressure mid-repair")
+	}
+	if _, ok := w.Lookup("derived-b"); ok {
+		t.Error("healthy derived-b survived while the quarantined image was evicted")
+	}
+	if !w.IsQuarantined("derived-a") {
+		t.Error("derived-a left quarantine without being repaired")
 	}
 }
 

@@ -75,8 +75,19 @@ func (w *Warehouse) ScrubPass(p *sim.Proc) {
 		}
 		// The deep read: a scrub pays for the bytes it re-reads. A
 		// derived image's accounted bytes exclude the shared parent
-		// extents, which are scrubbed at the parent.
-		w.vol.Charge(p, im.bytes, 1)
+		// extents, which are scrubbed at the parent; a seed's extents
+		// live in the content store, so each slot is re-read through its
+		// canonical path (dedup makes that the same file many times —
+		// the scrub still pays per reference, like the reads it models).
+		deep := im.bytes
+		if !im.Derived {
+			for _, ep := range im.ExtentPaths {
+				if size, err := w.vol.Stat(ep); err == nil {
+					deep += size
+				}
+			}
+		}
+		w.vol.Charge(p, deep, 1)
 		// The proc slept in Charge; the image may have been removed or
 		// quarantined meanwhile.
 		if cur, live := w.images[name]; !live || cur != im || w.IsQuarantined(name) {

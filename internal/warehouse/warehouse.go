@@ -266,6 +266,10 @@ type Warehouse struct {
 	vol    *storage.Volume
 	images map[string]*Image
 	cache  *cloneCache
+	// extents is the content-addressed store seed disk extents live in:
+	// byte-identical extents share one refcounted physical copy
+	// (extentstore.go).
+	extents *extentStore
 
 	// faults decides corruption injections on the warehouse's storage
 	// paths; nil means no injection (SetFaults).
@@ -311,6 +315,11 @@ type Warehouse struct {
 	mCacheMisses  *telemetry.Counter
 	gCacheSize    *telemetry.Gauge
 
+	// Extent-store instruments.
+	gExtentEntries  *telemetry.Gauge
+	gExtentLogical  *telemetry.Gauge
+	gExtentPhysical *telemetry.Gauge
+
 	// Integrity instruments.
 	mScrubPasses   *telemetry.Counter
 	mScrubVerified *telemetry.Counter
@@ -328,6 +337,7 @@ func New(vol *storage.Volume) *Warehouse {
 		vol:         vol,
 		images:      make(map[string]*Image),
 		cache:       newCloneCache(DefaultCloneCacheSize),
+		extents:     newExtentStore(),
 		quarantine:  make(map[string]string),
 		repairFails: make(map[string]int),
 		repairLimit: DefaultRepairAttempts,
@@ -353,6 +363,9 @@ func (w *Warehouse) SetTelemetry(h *telemetry.Hub) {
 	w.mCacheHits = h.Counter("warehouse.cache_hits")
 	w.mCacheMisses = h.Counter("warehouse.cache_misses")
 	w.gCacheSize = h.Gauge("warehouse.cache_size")
+	w.gExtentEntries = h.Gauge("warehouse.extent_entries")
+	w.gExtentLogical = h.Gauge("warehouse.extent_logical_bytes")
+	w.gExtentPhysical = h.Gauge("warehouse.extent_physical_bytes")
 	w.mScrubPasses = h.Counter("warehouse.scrub_passes")
 	w.mScrubVerified = h.Counter("warehouse.scrub_verified")
 	w.mCorruptions = h.Counter("warehouse.corruptions_detected")
@@ -371,8 +384,13 @@ func (w *Warehouse) SetCapacity(bytes int64) { w.capacity = bytes }
 // Capacity returns the configured byte budget (0 = unlimited).
 func (w *Warehouse) Capacity() int64 { return w.capacity }
 
-// BytesUsed reports the volume space accounted to published images.
-func (w *Warehouse) BytesUsed() int64 { return w.bytesUsed }
+// BytesUsed reports the volume space accounted to published images:
+// per-image state bytes plus the physical (deduplicated) bytes of the
+// content-addressed extent store. Before the store, every seed carried
+// its full extent capacity here; identical extents now count once.
+func (w *Warehouse) BytesUsed() int64 {
+	return w.bytesUsed + w.ExtentStatsNow().PhysicalBytes
+}
 
 // DerivedCount reports how many derived images are published.
 func (w *Warehouse) DerivedCount() int {
@@ -443,7 +461,7 @@ func (w *Warehouse) register(im *Image, accounted int64) {
 	w.mPublishes.Inc()
 	w.gImages.Set(int64(len(w.images)))
 	w.gDerived.Set(int64(w.DerivedCount()))
-	w.gBytesUsed.Set(w.bytesUsed)
+	w.gBytesUsed.Set(w.BytesUsed())
 }
 
 // Publish registers a seed golden image and lays its state files down
@@ -469,10 +487,17 @@ func (w *Warehouse) Publish(im *Image) error {
 	if im.Backend == BackendVMware {
 		im.MemImagePath = dir + "mem.vmss"
 	}
+	// Extents are content-addressed: each slot resolves to the canonical
+	// path of its (size, content) key, so byte-identical extents — the
+	// all-zero spans of sparse installer images, across every seed — land
+	// on one shared physical copy. Paths and sums are stamped before the
+	// encode; the store references (which lay the files) are taken after,
+	// so an encode failure still leaves the volume untouched.
 	im.ExtentPaths = nil
 	extent := im.Disk.Base().SizeBytes() / int64(DiskSpanFiles)
 	for i := 0; i < DiskSpanFiles; i++ {
-		im.ExtentPaths = append(im.ExtentPaths, fmt.Sprintf("%sdisk-s%03d.vmdk", dir, i))
+		key := extentKey(extent, im.Disk.Base().ExtentContentHash(i))
+		im.ExtentPaths = append(im.ExtentPaths, extentPath(key))
 	}
 	im.stampSums(nil)
 	blob, err := encodeDescriptor(im.Descriptor())
@@ -482,18 +507,24 @@ func (w *Warehouse) Publish(im *Image) error {
 	descPath := im.descriptorPath()
 	im.Sums[descPath] = artifactSum(descPath, int64(len(blob)), 0)
 
+	for i := 0; i < DiskSpanFiles; i++ {
+		if w.killpoint("publish", i) {
+			// kill -9 between store operations: references taken so far
+			// are journaled, the image never registers; Restart's
+			// reconciliation releases the orphans.
+			return fmt.Errorf("warehouse: daemon killed publishing %q (extent %d)", im.Name, i)
+		}
+		w.acquireExtent(extent, im.Disk.Base().ExtentContentHash(i))
+	}
 	w.vol.WriteMetaSum(im.ConfigPath, configBytes, im.Sums[im.ConfigPath])
 	w.vol.WriteMetaSum(im.RedoPath, im.Disk.RedoBytes(), im.Sums[im.RedoPath])
 	if im.MemImagePath != "" {
 		w.vol.WriteMetaSum(im.MemImagePath, im.MemImageBytes(), im.Sums[im.MemImagePath])
 	}
-	for _, p := range im.ExtentPaths {
-		w.vol.WriteMetaSum(p, extent, im.Sums[p])
-	}
 	w.vol.WriteMetaSum(descPath, int64(len(blob)), im.Sums[descPath])
-	w.register(im, configBytes+im.Disk.RedoBytes()+im.MemImageBytes()+
-		extent*int64(DiskSpanFiles)+int64(len(blob)))
-	w.mirror(im)
+	// Extent bytes are accounted by the store (deduplicated), not per
+	// image: a seed's accounted bytes are its private state only.
+	w.register(im, configBytes+im.Disk.RedoBytes()+im.MemImageBytes()+int64(len(blob)))
 	w.journalEvent(journal.ImagePublish, im.Name, map[string]string{"origin": "seed"})
 	if w.faults.Should(integritySite, fault.TornWrite, "publish") {
 		w.corruptPath(im.RedoPath)
@@ -556,10 +587,10 @@ func (w *Warehouse) PublishDerived(im *Image, now time.Duration) error {
 	im.Sums[descPath] = artifactSum(descPath, int64(len(blob)), 0)
 	need := derivedStateBytes(im, len(blob))
 	if w.capacity > 0 {
-		for w.bytesUsed+need > w.capacity {
+		for w.BytesUsed()+need > w.capacity {
 			if err := w.retireOne(); err != nil {
 				return fmt.Errorf("warehouse: no room for derived image %q (%d of %d bytes used): %w",
-					im.Name, w.bytesUsed, w.capacity, err)
+					im.Name, w.BytesUsed(), w.capacity, err)
 			}
 		}
 	}
@@ -592,6 +623,12 @@ func (w *Warehouse) retireOne() error {
 		if !im.Derived || im.refs > 0 {
 			continue
 		}
+		// A quarantined image is mid-repair: its lifecycle belongs to the
+		// scrubber (repaired, or retired at the repair limit), not to
+		// capacity pressure — evicting it here would race the repair.
+		if w.IsQuarantined(n) {
+			continue
+		}
 		if victim == nil ||
 			im.scoreSum < victim.scoreSum ||
 			(im.scoreSum == victim.scoreSum && im.lastUsed < victim.lastUsed) {
@@ -618,6 +655,12 @@ func (w *Warehouse) NoteUse(name string, score int, now time.Duration) {
 	if !ok {
 		return
 	}
+	// An unservable image saves no work: a use landing during quarantine
+	// (a creation that bound just before the quarantine did) must not
+	// inflate its retirement score.
+	if w.IsQuarantined(name) {
+		return
+	}
 	im.uses++
 	im.scoreSum += score
 	im.lastUsed = now
@@ -641,15 +684,15 @@ func (w *Warehouse) Remove(name string) error {
 	return nil
 }
 
-// unregister sweeps an image's files off the volume (best-effort:
-// already-missing files are skipped) and unbooks it. A derived image's
-// extent files belong to its parent and are left alone; the parent
-// reference taken at publication is released.
+// unregister sweeps an image's private state files off the volume
+// (best-effort: already-missing files are skipped) and unbooks it. A
+// derived image's extent files belong to its parent and are left alone;
+// the parent reference taken at publication is released. A seed's
+// extents are store references: each is released (the store deletes the
+// physical copy — and its replica mirror — only when the last image
+// referencing that content lets go).
 func (w *Warehouse) unregister(im *Image) {
 	paths := []string{im.ConfigPath, im.RedoPath, "golden/" + im.Name + "/descriptor.xml"}
-	if !im.Derived {
-		paths = append(paths, im.ExtentPaths...)
-	}
 	if im.MemImagePath != "" {
 		paths = append(paths, im.MemImagePath)
 	}
@@ -679,8 +722,19 @@ func (w *Warehouse) unregister(im *Image) {
 	w.gCacheSize.Set(int64(w.cache.order.Len()))
 	w.gImages.Set(int64(len(w.images)))
 	w.gDerived.Set(int64(w.DerivedCount()))
-	w.gBytesUsed.Set(w.bytesUsed)
 	w.journalEvent(journal.ImageRetire, im.Name, nil)
+	if !im.Derived {
+		for i, p := range im.ExtentPaths {
+			if w.killpoint("retire", i) {
+				// kill -9 mid-retire: the retire record is durable but
+				// some references were never released; Restart's
+				// reconciliation releases them as orphans.
+				return
+			}
+			w.releaseExtentPath(p)
+		}
+	}
+	w.gBytesUsed.Set(w.BytesUsed())
 }
 
 // Lookup returns a published image.

@@ -120,6 +120,13 @@ type WarmResult struct {
 	SeedsIntact   bool // every installer-seeded image survived
 	Failed        int
 
+	// Extent dedup: the content-addressed store's end-of-run footprint.
+	// SavedBytes is logical minus physical — what sharing byte-identical
+	// extents across seed and derived publications kept off the volume.
+	ExtentLogicalBytes  int64
+	ExtentPhysicalBytes int64
+	ExtentSavedBytes    int64
+
 	// Fingerprint digests every observable of the run; equal
 	// fingerprints across same-seed reruns mean the loop (including
 	// its off-critical-path publish processes) is deterministic.
@@ -137,6 +144,8 @@ func (r *WarmResult) Report() []string {
 			r.PublishBacks, r.DerivedImages, r.Retirements),
 		fmt.Sprintf("warehouse bytes: %d of %d budget (seeds intact: %v)",
 			r.BytesUsed, r.Capacity, r.SeedsIntact),
+		fmt.Sprintf("extent store: %d MB logical → %d MB physical (%d MB deduplicated)",
+			r.ExtentLogicalBytes>>20, r.ExtentPhysicalBytes>>20, r.ExtentSavedBytes>>20),
 	}
 }
 
@@ -233,6 +242,10 @@ func RunWarm(seed int64, opts WarmOptions) (*WarmResult, error) {
 	res.DerivedImages = d.Warehouse.DerivedCount()
 	res.Retirements = d.Warehouse.Retirements()
 	res.BytesUsed = d.Warehouse.BytesUsed()
+	ext := d.Warehouse.ExtentStatsNow()
+	res.ExtentLogicalBytes = ext.LogicalBytes
+	res.ExtentPhysicalBytes = ext.PhysicalBytes
+	res.ExtentSavedBytes = ext.SavedBytes()
 	res.SeedsIntact = true
 	for _, s := range seeds {
 		if _, ok := d.Warehouse.Lookup(s); !ok {

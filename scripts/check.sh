@@ -28,6 +28,7 @@ smoke() {
         mkdir -p "$CHECK_ARTIFACTS"
         case "$exp" in
         federation) set -- "$@" -artifacts "$CHECK_ARTIFACTS" ;;
+        pipeline) set -- "$@" -artifacts "$CHECK_ARTIFACTS" ;;
         slo) set -- "$@" -trace "$CHECK_ARTIFACTS/slo-trace.json" ;;
         esac
     fi
@@ -62,7 +63,9 @@ if [ "${CHECK_SHORT:-0}" != "1" ]; then
     # every request via failover/retry with zero orphans or leaks.
     smoke chaos
     # Batched-creation smoke: batch-16 must beat batch-1 by >= 3x while a
-    # single request stays byte-identical to the serial path.
+    # single request stays byte-identical to the serial path; the lazy
+    # clone comparison must resume >= 2x below the full-copy floor with
+    # byte-identical converged end states.
     smoke pipeline
     # Learning-loop smoke: publish-back must cut warm-half creation time
     # >= 30% within the byte budget, retiring only unreferenced derived
