@@ -4,7 +4,7 @@ GO ?= go
 STATICCHECK_VERSION ?= 2024.1.1
 STATICCHECK ?= staticcheck
 
-.PHONY: build test race vet lint check bench chaos pipeline warm scrub slo restart federation
+.PHONY: build test race vet lint check bench chaos pipeline warm scrub slo restart federation diurnal
 
 build:
 	$(GO) build ./...
@@ -89,3 +89,11 @@ restart:
 # another cell, and byte-identical same-seed reruns.
 federation:
 	$(GO) run ./cmd/vmbench -exp federation -series smoke
+
+# diurnal is the elastic-fleet smoke: a compressed two-day day/night
+# cycle with flash crowds and maintenance windows, one of them crossing
+# a kill -9 mid-drain. Exits nonzero unless SLOs hold, the fleet scales
+# up >= 2x and drains/retires >= 2 plants, every shed is retryable,
+# nothing is orphaned or leaked, and same-seed reruns are byte-identical.
+diurnal:
+	$(GO) run ./cmd/vmbench -exp diurnal -series smoke

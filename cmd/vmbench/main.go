@@ -27,7 +27,7 @@ import (
 
 func main() {
 	var (
-		exp       = flag.String("exp", "all", "experiment: all, fig4, fig5, fig6, copy, uml, cost, overhead, anatomy, trace, ablations, extensions, chaos, pipeline, warm, scrub, slo, restart, federation")
+		exp       = flag.String("exp", "all", "experiment: all, fig4, fig5, fig6, copy, uml, cost, overhead, anatomy, trace, ablations, extensions, chaos, pipeline, warm, scrub, slo, restart, federation, diurnal")
 		seed      = flag.Int64("seed", 42, "random seed")
 		series    = flag.String("series", "paper", "request series scale: paper or smoke")
 		traceOut  = flag.String("trace", "", "write the trace experiment's spans as JSONL — or the slo experiment's spans as Chrome trace-event JSON — to this file")
@@ -417,6 +417,39 @@ func main() {
 					res.Succeeded, res.Requests, res.Lost, res.Duplicated, res.ShopKills, res.QuarantineSurvived, reproducible)
 			}
 		},
+		"diurnal": func() {
+			opts := workload.DiurnalOptions{}
+			if *series == "smoke" {
+				opts = workload.SmokeDiurnalOptions()
+			}
+			res, err := workload.RunDiurnal(*seed, opts)
+			if err != nil {
+				log.Fatalf("vmbench: %v", err)
+			}
+			header("Diurnal: elastic fleet under a simulated week of day/night load")
+			for _, line := range res.Report() {
+				fmt.Println(line)
+			}
+			again, err := workload.RunDiurnal(*seed, opts)
+			if err != nil {
+				log.Fatalf("vmbench: %v", err)
+			}
+			reproducible := again.Fingerprint == res.Fingerprint
+			fmt.Printf("\nsame-seed rerun byte-identical: %v\n", reproducible)
+			if *artifacts != "" {
+				if err := dumpDiurnalArtifacts(*artifacts, res); err != nil {
+					log.Fatalf("vmbench: artifacts: %v", err)
+				}
+				fmt.Printf("artifacts written to %s\n", *artifacts)
+			}
+			violations := res.GateViolations(true)
+			if !reproducible {
+				violations = append(violations, "same-seed rerun not byte-identical")
+			}
+			if len(violations) != 0 {
+				log.Fatalf("vmbench: diurnal run failed its gate:\n  %s", strings.Join(violations, "\n  "))
+			}
+		},
 		"federation": func() {
 			opts := workload.FederationOptions{}
 			if *series == "smoke" {
@@ -480,7 +513,7 @@ func main() {
 		},
 	}
 
-	order := []string{"fig4", "fig5", "fig6", "copy", "uml", "cost", "overhead", "anatomy", "trace", "ablations", "extensions", "chaos", "pipeline", "warm", "scrub", "slo", "restart", "federation"}
+	order := []string{"fig4", "fig5", "fig6", "copy", "uml", "cost", "overhead", "anatomy", "trace", "ablations", "extensions", "chaos", "pipeline", "warm", "scrub", "slo", "restart", "federation", "diurnal"}
 	switch *exp {
 	case "all":
 		for _, name := range order {
@@ -528,6 +561,38 @@ func dumpFederationArtifacts(dir string, res *workload.FederationResult) error {
 		}
 	}
 	f, err := os.Create(filepath.Join(dir, "trace.json"))
+	if err != nil {
+		return err
+	}
+	if err := telemetry.WriteChromeTrace(f, res.Spans); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+// dumpDiurnalArtifacts writes the shop's journal and the week's span
+// set as a Chrome trace into dir, so a red CI matrix job can upload
+// them and stay debuggable without a local repro.
+func dumpDiurnalArtifacts(dir string, res *workload.DiurnalResult) error {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return err
+	}
+	f, err := os.Create(filepath.Join(dir, "journal-shop.jsonl"))
+	if err != nil {
+		return err
+	}
+	enc := json.NewEncoder(f)
+	for _, rec := range res.Journal {
+		if err := enc.Encode(rec); err != nil {
+			f.Close()
+			return err
+		}
+	}
+	if err := f.Close(); err != nil {
+		return err
+	}
+	f, err = os.Create(filepath.Join(dir, "trace.json"))
 	if err != nil {
 		return err
 	}

@@ -10,6 +10,7 @@
 //	vmctl stats -debug localhost:7070
 //	vmctl trace vm-shop-1 -debug localhost:7070,localhost:7071
 //	vmctl queue -debug localhost:7070,localhost:7071
+//	vmctl fleet -debug localhost:7070
 package main
 
 import (
@@ -74,6 +75,8 @@ func main() {
 		doJournal(args[1:])
 	case "federation":
 		doFederation(args[1:])
+	case "fleet":
+		doFleet(args[1:])
 	case "publish":
 		if len(args) < 3 {
 			usage()
@@ -86,7 +89,7 @@ func main() {
 }
 
 func usage() {
-	fmt.Fprintln(os.Stderr, "usage: vmctl [-shop addr] create [-spec file | -example] | query <vmid> | destroy <vmid> | suspend <vmid> | resume <vmid> | publish <vmid> <image> | ping | dot [-spec file] | stats [-debug addr] [-traces n] | trace <vmid> [-debug addr,addr...] | queue [-debug addr,addr...] | warehouse [-debug addr,addr...] | scrub [-debug addr,addr...] | journal [-debug addr,addr...] [-n k] [-verify] | federation [-debug addr,addr...]")
+	fmt.Fprintln(os.Stderr, "usage: vmctl [-shop addr] create [-spec file | -example] | query <vmid> | destroy <vmid> | suspend <vmid> | resume <vmid> | publish <vmid> <image> | ping | dot [-spec file] | stats [-debug addr] [-traces n] | trace <vmid> [-debug addr,addr...] | queue [-debug addr,addr...] | warehouse [-debug addr,addr...] | scrub [-debug addr,addr...] | journal [-debug addr,addr...] [-n k] [-verify] | federation [-debug addr,addr...] | fleet [-debug addr,addr...]")
 	os.Exit(2)
 }
 
@@ -592,6 +595,55 @@ func doFederation(args []string) {
 					}
 				}
 			}
+		}
+	}
+}
+
+// doFleet summarizes each shop daemon's elastic-fleet state from its
+// /debug/fleet endpoint: every plant's drain state, VM and in-flight
+// counts, plus the admission gate and overload/retirement counters.
+func doFleet(args []string) {
+	fs := flag.NewFlagSet("fleet", flag.ExitOnError)
+	debugAddrs := fs.String("debug", "localhost:7070", "comma-separated shop daemon debug HTTP addresses")
+	fs.Parse(args)
+
+	for _, addr := range strings.Split(*debugAddrs, ",") {
+		addr = strings.TrimSpace(addr)
+		if addr == "" {
+			continue
+		}
+		body, err := httpGet(fmt.Sprintf("http://%s/debug/fleet", addr))
+		if err != nil {
+			fmt.Printf("%s: no fleet state (%v)\n", addr, err)
+			continue
+		}
+		var st struct {
+			Shop   string `json:"shop"`
+			Plants []struct {
+				Name      string `json:"name"`
+				State     string `json:"state"`
+				ActiveVMs int    `json:"active_vms"`
+				Inflight  int    `json:"inflight"`
+			} `json:"plants"`
+			AdmissionQueue int   `json:"admission_queue"`
+			InflightAtGate int   `json:"inflight_at_gate"`
+			ShedCreates    int64 `json:"shed_creates"`
+			StaleBids      int64 `json:"stale_bids"`
+			Drains         int64 `json:"drains"`
+			Retirements    int64 `json:"retirements"`
+		}
+		if err := json.Unmarshal(body, &st); err != nil {
+			log.Fatalf("vmctl: bad /debug/fleet response from %s: %v", addr, err)
+		}
+		fmt.Printf("%s: shop %q, gate queue=%d inflight=%d, shed=%d stale_bids=%d drains=%d retired=%d\n",
+			addr, st.Shop, st.AdmissionQueue, st.InflightAtGate,
+			st.ShedCreates, st.StaleBids, st.Drains, st.Retirements)
+		for _, pl := range st.Plants {
+			vms := fmt.Sprintf("%d", pl.ActiveVMs)
+			if pl.ActiveVMs < 0 {
+				vms = "?"
+			}
+			fmt.Printf("  %-12s %-9s vms=%-4s inflight=%d\n", pl.Name, pl.State, vms, pl.Inflight)
 		}
 	}
 }

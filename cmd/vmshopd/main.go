@@ -108,11 +108,15 @@ func main() {
 			w.Header().Set("Content-Type", "application/json")
 			_ = json.NewEncoder(w).Encode(s.Federation())
 		})
+		mux.HandleFunc("/debug/fleet", func(w http.ResponseWriter, _ *http.Request) {
+			w.Header().Set("Content-Type", "application/json")
+			_ = json.NewEncoder(w).Encode(s.Fleet())
+		})
 		addr, err := telemetry.Serve(*debug, mux)
 		if err != nil {
 			log.Fatalf("vmshopd: %v", err)
 		}
-		log.Printf("debug endpoints on http://%s/metrics, /debug/traces, /debug/creation/<id>, /debug/health, /debug/journal and /debug/federation", addr)
+		log.Printf("debug endpoints on http://%s/metrics, /debug/traces, /debug/creation/<id>, /debug/health, /debug/journal, /debug/federation and /debug/fleet", addr)
 	}
 
 	l, err := net.Listen("tcp", *listen)

@@ -1,0 +1,117 @@
+// Drain and brownout: the plant-side half of the elastic fleet.
+//
+// Draining is the graceful exit from the fleet: a draining plant stops
+// bidding (its Estimate refuses, and its resource ad carries a
+// Draining marker so shops filter it even on a stale ad), refuses new
+// production orders with a transient error so the shop fails the
+// creation over, and lets in-flight work finish. The shop-side drain
+// protocol (shop/drain.go) migrates or awaits the hosted VMs and
+// journals the retirement.
+//
+// Brownout is the load-shedding degraded mode: when admission pressure
+// burns the SLO budget, the fleet controller browns the plant out —
+// publish-back checkpoints and background hydration pause so every
+// disk and NFS byte serves foreground creations — and lifts it when
+// pressure clears.
+package plant
+
+import (
+	"fmt"
+	"time"
+
+	"vmplants/internal/core"
+	"vmplants/internal/sim"
+)
+
+// SetDraining marks (or unmarks) the plant as draining. A draining
+// plant keeps serving queries, collects, migrations and in-flight
+// creations; it only stops accepting new work.
+func (pl *Plant) SetDraining(on bool) {
+	pl.mu.Lock()
+	pl.draining = on
+	pl.mu.Unlock()
+}
+
+// Draining reports whether the plant is draining.
+func (pl *Plant) Draining() bool {
+	pl.mu.Lock()
+	defer pl.mu.Unlock()
+	return pl.draining
+}
+
+// Retire marks the plant permanently retired. A retired plant is also
+// draining (it never takes new work again); the flag is one-way.
+func (pl *Plant) Retire() {
+	pl.mu.Lock()
+	pl.draining = true
+	pl.retired = true
+	pl.mu.Unlock()
+}
+
+// RetiredPlant reports whether the plant has been retired.
+func (pl *Plant) RetiredPlant() bool {
+	pl.mu.Lock()
+	defer pl.mu.Unlock()
+	return pl.retired
+}
+
+// refuseIfDraining is the production-order gate: a creation dispatched
+// to a plant that began draining after the bid round is a stale-bid
+// race, and the transient error sends the shop to its next bidder.
+func (pl *Plant) refuseIfDraining() error {
+	pl.mu.Lock()
+	defer pl.mu.Unlock()
+	if pl.draining {
+		return fmt.Errorf("plant %s: %w: draining", pl.name, core.ErrTransient)
+	}
+	return nil
+}
+
+// SetBrownout switches the plant's degraded mode. Entering brownout
+// pauses publish-back and background hydration; leaving it wakes the
+// parked hydrators.
+func (pl *Plant) SetBrownout(on bool) {
+	pl.mu.Lock()
+	was := pl.brownout
+	pl.brownout = on
+	var wake []*sim.Proc
+	if was && !on {
+		wake = pl.brownoutWait
+		pl.brownoutWait = nil
+	}
+	pl.mu.Unlock()
+	if was != on {
+		if on {
+			pl.mBrownouts.Inc()
+			pl.gBrownout.Set(1)
+		} else {
+			pl.gBrownout.Set(0)
+		}
+	}
+	for _, w := range wake {
+		w.WakeUp()
+	}
+}
+
+// Brownout reports whether the plant is in brownout.
+func (pl *Plant) Brownout() bool {
+	pl.mu.Lock()
+	defer pl.mu.Unlock()
+	return pl.brownout
+}
+
+// brownoutPark parks p once if a brownout is in effect and returns
+// after it is woken — by the brownout lifting or by any other WakeUp
+// (a hydration cancel, say). Callers loop, re-checking their own exit
+// conditions alongside Brownout(), so a cancel can always pull a
+// parked proc out. Immediately returns outside a brownout.
+func (pl *Plant) brownoutPark(p *sim.Proc) {
+	pl.mu.Lock()
+	if !pl.brownout {
+		pl.mu.Unlock()
+		return
+	}
+	pl.brownoutWait = append(pl.brownoutWait, p)
+	pl.mu.Unlock()
+	p.Wait(time.Hour)
+}

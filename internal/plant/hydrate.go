@@ -105,6 +105,12 @@ func (pl *Plant) startHydration(p *sim.Proc, vm *vmm.VM, cctx *warehouse.CloneCo
 // the host's disk pipes any harder than the clone stage itself could.
 func (h *hydration) run(p *sim.Proc) {
 	for i := range h.state {
+		// Brownout pauses background hydration at extent boundaries;
+		// demand faults still copy synchronously (the guest is blocked on
+		// them — that is foreground I/O).
+		for h.pl.Brownout() && !h.cancelled && h.failed == nil {
+			h.pl.brownoutPark(p)
+		}
 		if h.cancelled || h.failed != nil {
 			return
 		}

@@ -125,6 +125,15 @@ type Plant struct {
 	// concurrent orders cannot overshoot MaxVMs between the capacity
 	// check and info.store.
 	creating int
+	// draining/retired is the elastic-fleet exit state (drain.go): a
+	// draining plant refuses new work but finishes what it has; retired
+	// is the one-way terminal state.
+	draining bool
+	retired  bool
+	// brownout pauses publish-back and background hydration while the
+	// fleet sheds load; brownoutWait holds procs parked until it lifts.
+	brownout     bool
+	brownoutWait []*sim.Proc
 
 	// cloneGate is the admission-control semaphore: at most K clone
 	// state-copies in flight (see admission.go). Only kernel processes
@@ -186,6 +195,9 @@ type Plant struct {
 	mHydrationAborts   *telemetry.Counter
 	hHydrationLag      *telemetry.Histogram
 	hHydrationComplete *telemetry.Histogram
+
+	mBrownouts *telemetry.Counter
+	gBrownout  *telemetry.Gauge
 }
 
 // CreateStats records one successful creation's breakdown.
@@ -269,6 +281,9 @@ func New(name string, node *cluster.Node, wh *warehouse.Warehouse, cfg Config) *
 		gAdmissionQueue:   tel.Gauge("plant.admission_queue"),
 		hAdmissionWait:    tel.Histogram("plant.admission_wait_secs"),
 
+		mBrownouts: tel.Counter("plant.brownouts"),
+		gBrownout:  tel.Gauge("plant.brownout"),
+
 		mDemandFaults:      tel.Counter("plant.demand_faults"),
 		mHydratedExtents:   tel.Counter("plant.hydrated_extents"),
 		mHydrationAborts:   tel.Counter("plant.hydration_aborts"),
@@ -339,6 +354,7 @@ func (pl *Plant) ResourceAd() *classad.Ad {
 		SetInt("FreeNetworks", int64(pl.nets.FreeCount())).
 		SetInt("CloneSlots", int64(pl.cloneGate.Capacity())).
 		SetInt("InflightClones", int64(pl.cloneGate.InUse())).
+		SetBool("Draining", pl.Draining()).
 		SetStrings("GoldenImages", pl.wh.List()...)
 	if pl.cfg.PolicyAd != nil {
 		ad.Merge(pl.cfg.PolicyAd)
@@ -355,6 +371,11 @@ func (pl *Plant) Estimate(p *sim.Proc, spec *core.Spec) core.Cost {
 	// shop's patience; the bidding round proceeds without it.
 	if d := pl.faults.DelayFor(pl.name, fault.SlowBid, ""); d > 0 {
 		p.Sleep(d)
+	}
+	// A draining plant stops bidding: the classad marker covers shops
+	// holding a stale ad, and the infeasible bid covers everyone else.
+	if pl.Draining() {
+		return core.Infeasible
 	}
 	if _, err := pl.plan(spec); err != nil {
 		return core.Infeasible
@@ -420,6 +441,11 @@ func (pl *Plant) Create(p *sim.Proc, id core.VMID, spec *core.Spec) (_ *classad.
 		}
 	}()
 	if err := spec.Validate(); err != nil {
+		return nil, err
+	}
+	// Stale-bid race: the plant may have begun draining after its bid
+	// was collected. Refuse the order transiently so the shop re-bids.
+	if err := pl.refuseIfDraining(); err != nil {
 		return nil, err
 	}
 	// Capacity check with reservation: concurrent pipeline orders each
@@ -660,6 +686,11 @@ const DefaultPublishBackThreshold = 4
 // loser's duplicate is simply dropped.
 func (pl *Plant) maybePublishBack(p *sim.Proc, sp *telemetry.Span, vm *vmm.VM, golden *warehouse.Image, residual int) {
 	if !pl.cfg.PublishBack {
+		return
+	}
+	// Brownout: every spare disk/NFS byte serves foreground creations;
+	// the checkpoint opportunity is simply forgone, not deferred.
+	if pl.Brownout() {
 		return
 	}
 	threshold := pl.cfg.PublishBackThreshold

@@ -67,6 +67,14 @@ func (r *Registry) Publish(b Binding, ttl time.Duration) error {
 
 // Withdraw removes a binding; it reports whether it was present.
 func (r *Registry) Withdraw(service, name string) bool {
+	return r.Unpublish(service, name)
+}
+
+// Unpublish permanently removes a binding regardless of lease state —
+// the drain/retire path: a plant leaving the fleet must disappear from
+// discovery immediately, not linger until its lease lapses. It reports
+// whether the binding was present.
+func (r *Registry) Unpublish(service, name string) bool {
 	r.mu.Lock()
 	defer r.mu.Unlock()
 	m := r.bindings[service]
@@ -74,6 +82,9 @@ func (r *Registry) Withdraw(service, name string) bool {
 		return false
 	}
 	delete(m, name)
+	if len(m) == 0 {
+		delete(r.bindings, service)
+	}
 	return true
 }
 
@@ -83,28 +94,54 @@ func (r *Registry) live(b Binding) bool {
 }
 
 // Discover returns every live binding of a service, sorted by name.
+// Expired bindings encountered during the scan are compacted away in
+// place, so the directory does not grow without bound under plant
+// churn even when nobody runs an explicit Sweep.
 func (r *Registry) Discover(service string) []Binding {
 	r.mu.Lock()
 	defer r.mu.Unlock()
 	var out []Binding
-	for _, b := range r.bindings[service] {
-		if r.live(b) {
-			out = append(out, b)
+	m := r.bindings[service]
+	for name, b := range m {
+		if !r.live(b) {
+			delete(m, name)
+			continue
 		}
+		out = append(out, b)
+	}
+	if len(m) == 0 {
+		delete(r.bindings, service)
 	}
 	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
 	return out
 }
 
-// Bind resolves one named instance.
+// Bind resolves one named instance. A lapsed binding is compacted away
+// on the spot.
 func (r *Registry) Bind(service, name string) (Binding, error) {
 	r.mu.Lock()
 	defer r.mu.Unlock()
 	b, ok := r.bindings[service][name]
-	if !ok || !r.live(b) {
+	if ok && !r.live(b) {
+		delete(r.bindings[service], name)
+		ok = false
+	}
+	if !ok {
 		return Binding{}, fmt.Errorf("registry: no live binding %s/%s", service, name)
 	}
 	return b, nil
+}
+
+// Size reports how many bindings (live or lapsed) the registry holds —
+// the compaction tests' window into map growth.
+func (r *Registry) Size() int {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	n := 0
+	for _, m := range r.bindings {
+		n += len(m)
+	}
+	return n
 }
 
 // Sweep drops expired bindings and returns how many were removed.

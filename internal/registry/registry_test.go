@@ -54,11 +54,22 @@ func TestLeaseExpiry(t *testing.T) {
 	if len(got) != 1 || got[0].Name != "b" {
 		t.Errorf("after expiry: %+v", got)
 	}
+	// Discover compacted the lapsed binding in place: only the immortal
+	// one remains and there is nothing left for Sweep to do.
+	if n := r.Size(); n != 1 {
+		t.Errorf("Size after compacting Discover = %d, want 1", n)
+	}
 	if _, err := r.Bind("vmplant", "a"); err == nil {
 		t.Error("expired binding bound")
 	}
+	if n := r.Sweep(); n != 0 {
+		t.Errorf("Sweep removed %d, want 0 (already compacted)", n)
+	}
+	// Sweep still works on bindings nobody has read since they lapsed.
+	r.Publish(Binding{Service: "vmplant", Name: "c", Addr: "c:1"}, time.Second)
+	now = now.Add(2 * time.Second)
 	if n := r.Sweep(); n != 1 {
-		t.Errorf("Sweep removed %d", n)
+		t.Errorf("Sweep removed %d, want 1", n)
 	}
 }
 
@@ -87,6 +98,46 @@ func TestWithdraw(t *testing.T) {
 	}
 	if len(r.Discover("s")) != 0 {
 		t.Error("withdrawn binding visible")
+	}
+}
+
+func TestUnpublish(t *testing.T) {
+	now := time.Unix(0, 0)
+	r := New()
+	r.Now = func() time.Time { return now }
+	r.Publish(Binding{Service: "vmplant", Name: "n", Addr: "a"}, 10*time.Second)
+	if !r.Unpublish("vmplant", "n") {
+		t.Error("Unpublish of live binding reported false")
+	}
+	if r.Unpublish("vmplant", "n") {
+		t.Error("double Unpublish reported true")
+	}
+	if r.Size() != 0 {
+		t.Errorf("Size = %d after Unpublish, want 0", r.Size())
+	}
+	// Unpublish removes lapsed bindings too — a retired plant leaves the
+	// directory even if its lease already ran out.
+	r.Publish(Binding{Service: "vmplant", Name: "m", Addr: "a"}, time.Second)
+	now = now.Add(2 * time.Second)
+	if !r.Unpublish("vmplant", "m") {
+		t.Error("Unpublish of lapsed binding reported false")
+	}
+}
+
+// Plant churn must not grow the directory without bound: every lapsed
+// binding is compacted by the next read that touches it.
+func TestChurnStaysBounded(t *testing.T) {
+	now := time.Unix(0, 0)
+	r := New()
+	r.Now = func() time.Time { return now }
+	for i := 0; i < 200; i++ {
+		name := "node" + string(rune('a'+i%26)) + string(rune('a'+(i/26)%26))
+		r.Publish(Binding{Service: "vmplant", Name: name + string(rune('0'+i%10)), Addr: "x"}, time.Second)
+		now = now.Add(2 * time.Second) // each binding lapses before the next publish
+		r.Discover("vmplant")
+	}
+	if n := r.Size(); n != 0 {
+		t.Errorf("Size after churn = %d, want 0 (all lapsed bindings compacted)", n)
 	}
 }
 
@@ -120,8 +171,13 @@ func TestLeaseLifecycleUnderSimClock(t *testing.T) {
 		if got := r.Discover("vmshop"); len(got) != 0 {
 			t.Errorf("lapsed cell still discoverable: %+v", got)
 		}
-		if n := r.Sweep(); n != 1 {
-			t.Errorf("Sweep removed %d bindings, want 1", n)
+		// The failed Bind and empty Discover above already compacted the
+		// lapsed binding away.
+		if n := r.Size(); n != 0 {
+			t.Errorf("Size after lapse = %d, want 0", n)
+		}
+		if n := r.Sweep(); n != 0 {
+			t.Errorf("Sweep removed %d bindings, want 0 (already compacted)", n)
 		}
 		// The cell comes back: one re-publish restores discovery.
 		if err := r.Publish(Binding{Service: "vmshop", Name: "cellA", Addr: "cellA"}, ttl); err != nil {

@@ -1,0 +1,423 @@
+// Safe drain and retirement: the shop-side half of the elastic fleet.
+//
+// Draining takes a plant out of the bidding rotation without dropping a
+// single creation: a drain-begin record is synced before any side
+// effect, the plant stops bidding (shop-side eligibility filter plus
+// the plant's own Draining classad marker), dispatches already in
+// flight finish normally, and the hosted VMs are migrated to the
+// remaining plants — or awaited, when migration is refused (a lazy
+// clone still hydrating, a suspended VM) — before a retirement record
+// makes the exit durable. The two journal records bracket the protocol
+// so a shop killed mid-drain resumes it on restart instead of
+// forgetting it, and replay removes retired plants from the candidate
+// set before any intent is reconciled or re-driven: a retired plant can
+// never be routed to again.
+package shop
+
+import (
+	"fmt"
+	"sort"
+	"time"
+
+	"vmplants/internal/core"
+	"vmplants/internal/journal"
+	"vmplants/internal/sim"
+)
+
+// Drainable is the optional capability of plant handles whose plant can
+// be told to stop bidding. LocalHandle implements it; remote handles
+// without it still drain correctly — the shop-side eligibility filter
+// and dispatch recheck carry the protocol alone, the plant just keeps
+// advertising until its ad expires.
+type Drainable interface {
+	// SetDraining marks (or unmarks) the plant as draining.
+	SetDraining(on bool)
+	// Retire marks the plant permanently retired.
+	Retire()
+}
+
+// LivenessProbe is the optional capability of plant handles that can
+// answer "is the daemon up right now?" without a round trip — the
+// dispatch-time recheck that catches bids gone stale when a plant
+// crashed after bidding.
+type LivenessProbe interface {
+	Alive() bool
+}
+
+// Migrator is the optional capability of plant handles that can move a
+// hosted VM to another plant (both in-process under the simulation
+// kernel). Drains on handles without it simply await their VMs instead
+// of migrating them.
+type Migrator interface {
+	MigrateVM(p *sim.Proc, id core.VMID, dst PlantHandle) error
+}
+
+// drainPoll is how often a drain re-checks for in-flight work and
+// unmigratable VMs while waiting them out.
+const drainPoll = time.Second
+
+// plantByName finds a wired plant handle, including one already
+// draining (a drain must keep reaching the plant it is emptying).
+func (s *Shop) plantByName(name string) PlantHandle {
+	for _, h := range s.plants {
+		if h.Name() == name {
+			return h
+		}
+	}
+	return nil
+}
+
+// Draining reports whether the named plant is draining (or retired).
+func (s *Shop) Draining(name string) bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.draining[name] || s.retired[name]
+}
+
+// Retired reports whether the named plant has been retired.
+func (s *Shop) Retired(name string) bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.retired[name]
+}
+
+// eligiblePlants is the candidate set for a bidding round: every wired
+// plant that is neither draining nor retired.
+func (s *Shop) eligiblePlants() []PlantHandle {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make([]PlantHandle, 0, len(s.plants))
+	for _, h := range s.plants {
+		if s.draining[h.Name()] || s.retired[h.Name()] {
+			continue
+		}
+		out = append(out, h)
+	}
+	return out
+}
+
+// dispatchOK is the moment-of-dispatch recheck: a bid was collected at
+// round start, but the plant may have begun draining — or died — since.
+// Dispatching anyway would either park a fresh creation on a plant
+// trying to empty itself or burn a call timeout on a corpse; the caller
+// skips the stale bid and re-picks instead.
+func (s *Shop) dispatchOK(h PlantHandle) bool {
+	s.mu.Lock()
+	stale := s.draining[h.Name()] || s.retired[h.Name()]
+	s.mu.Unlock()
+	if stale {
+		return false
+	}
+	if probe, ok := h.(LivenessProbe); ok && !probe.Alive() {
+		return false
+	}
+	return true
+}
+
+// BeginDrain starts draining the named plant: the drain-begin record is
+// synced before any side effect, so a daemon killed at any later point
+// resumes the drain on restart. Idempotent — re-beginning an open drain
+// (the restart path) neither re-journals nor errors.
+func (s *Shop) BeginDrain(p *sim.Proc, name string) error {
+	if s.down {
+		return ErrShopDown
+	}
+	h := s.plantByName(name)
+	if h == nil {
+		return fmt.Errorf("shop %s: no plant %s to drain", s.name, name)
+	}
+	s.mu.Lock()
+	if s.retired[name] {
+		s.mu.Unlock()
+		return fmt.Errorf("shop %s: plant %s already retired", s.name, name)
+	}
+	open := s.draining[name]
+	s.mu.Unlock()
+	if open {
+		return nil
+	}
+	if s.jnl != nil {
+		s.jnl.AppendSync(p, journal.Record{Kind: journal.PlantDrainBegin, Key: name})
+	}
+	s.mu.Lock()
+	s.draining[name] = true
+	s.mu.Unlock()
+	if d, ok := h.(Drainable); ok {
+		d.SetDraining(true)
+	}
+	s.mDrains.Inc()
+	return nil
+}
+
+// DrainAndRetire runs the full drain protocol on the named plant:
+// drain-begin, wait out in-flight dispatches, migrate (or await) every
+// hosted VM, then sync the retirement record and remove the plant from
+// the fleet. Blocks in virtual time until the plant is empty. The
+// "drain" chaos point sits right after the begin record — the widest
+// crash window, which the restart-time drain resume must close.
+func (s *Shop) DrainAndRetire(p *sim.Proc, name string) error {
+	if err := s.BeginDrain(p, name); err != nil {
+		return err
+	}
+	// Chaos point: the daemon dies with the drain open. Restart replays
+	// the drain-begin record and ResumeDrains finishes the job.
+	if s.killIf("drain") {
+		return ErrShopDown
+	}
+	return s.finishDrain(p, name)
+}
+
+// OpenDrains lists plants whose drain began but whose retirement record
+// never landed — the drains a restarted shop must resume.
+func (s *Shop) OpenDrains() []string {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	var open []string
+	for name := range s.draining {
+		if !s.retired[name] {
+			open = append(open, name)
+		}
+	}
+	sort.Strings(open)
+	return open
+}
+
+// ResumeDrains finishes every open drain — the restart-time
+// continuation of DrainAndRetire calls the crash interrupted.
+func (s *Shop) ResumeDrains(p *sim.Proc) error {
+	for _, name := range s.OpenDrains() {
+		if err := s.finishDrain(p, name); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// finishDrain is the back half of the protocol: empty the plant, then
+// retire it durably.
+func (s *Shop) finishDrain(p *sim.Proc, name string) error {
+	if s.Retired(name) {
+		return nil // another drainer already finished the job
+	}
+	h := s.plantByName(name)
+	if h == nil {
+		return fmt.Errorf("shop %s: no plant %s to drain", s.name, name)
+	}
+	// In-flight dispatches (orders handed to the plant before the drain
+	// began) run to completion; the plant accepts them, it only refuses
+	// new ones.
+	for s.inflightOf(name) > 0 {
+		if s.down {
+			return ErrShopDown
+		}
+		p.Sleep(drainPoll)
+	}
+	// Evacuate: every VM routed to the draining plant is migrated to an
+	// eligible plant. A refused migration (destination full, lazy clone
+	// still hydrating, suspended VM) is awaited and retried — hydration
+	// lands, clients collect, capacity frees — so the loop always makes
+	// progress in virtual time without ever abandoning a VM.
+	for {
+		if s.down {
+			return ErrShopDown
+		}
+		ids := s.routedTo(h)
+		if len(ids) == 0 {
+			break
+		}
+		moved := false
+		for _, id := range ids {
+			dst := s.migrationTarget(h)
+			m, ok := h.(Migrator)
+			if !ok || dst == nil {
+				continue // no way to move it: await collection
+			}
+			if err := m.MigrateVM(p, id, dst); err != nil {
+				continue // refused now; retry next pass
+			}
+			s.routes[id] = dst
+			s.journalMigrate(p, id, dst.Name())
+			s.mMigratedVMs.Inc()
+			moved = true
+		}
+		if !moved {
+			p.Sleep(drainPoll)
+		}
+	}
+	// The plant is empty and invisible to new work: make the exit
+	// durable, then drop it from the fleet. Replay of this record strips
+	// the plant from every restart's candidate set before reconciliation
+	// runs, so nothing can ever be routed to it again. A concurrent
+	// drainer of the same plant may have retired it while this one slept
+	// in the evacuation loop — exactly one retirement record lands.
+	if s.Retired(name) {
+		return nil
+	}
+	if s.jnl != nil {
+		s.jnl.AppendSync(p, journal.Record{Kind: journal.PlantRetired, Key: name})
+	}
+	s.mu.Lock()
+	s.retired[name] = true
+	s.mu.Unlock()
+	s.plants = without(s.plants, h)
+	if d, ok := h.(Drainable); ok {
+		d.Retire()
+	}
+	s.mRetires.Inc()
+	return nil
+}
+
+// AddPlant wires a new plant into the fleet — the scale-up half of
+// elasticity. A name collision with a wired or retired plant is
+// refused: retirement is forever, and the journal's drain records are
+// keyed by name.
+func (s *Shop) AddPlant(h PlantHandle) error {
+	name := h.Name()
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.retired[name] {
+		return fmt.Errorf("shop %s: plant name %s is retired", s.name, name)
+	}
+	for _, cur := range s.plants {
+		if cur.Name() == name {
+			return fmt.Errorf("shop %s: plant %s already wired", s.name, name)
+		}
+	}
+	s.plants = append(s.plants, h)
+	return nil
+}
+
+// inflightOf reads one plant's dispatched-not-done count.
+func (s *Shop) inflightOf(name string) int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.inflight[name]
+}
+
+// routedTo lists the VMs the shop routes to the given plant, in VMID
+// order for deterministic migration order.
+func (s *Shop) routedTo(h PlantHandle) []core.VMID {
+	var ids []core.VMID
+	for id, r := range s.routes {
+		if r == h {
+			ids = append(ids, id)
+		}
+	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	return ids
+}
+
+// migrationTarget picks where an evacuated VM goes: the eligible,
+// reachable plant with the fewest VMs routed to it (name-ordered ties),
+// spreading the refugees instead of dumping them on one node.
+func (s *Shop) migrationTarget(from PlantHandle) PlantHandle {
+	var best PlantHandle
+	bestLoad := 0
+	for _, h := range s.eligiblePlants() {
+		if h == from {
+			continue
+		}
+		if probe, ok := h.(LivenessProbe); ok && !probe.Alive() {
+			continue
+		}
+		load := len(s.routedTo(h))
+		if best == nil || load < bestLoad || (load == bestLoad && h.Name() < best.Name()) {
+			best, bestLoad = h, load
+		}
+	}
+	return best
+}
+
+// PlantFleetStatus is one plant's row in the fleet snapshot.
+type PlantFleetStatus struct {
+	Name string `json:"name"`
+	// State is "active", "draining" or "retired".
+	State string `json:"state"`
+	// ActiveVMs is the plant's hosted-VM count (-1 when the handle
+	// cannot report it without a round trip).
+	ActiveVMs int `json:"active_vms"`
+	// Inflight is this shop's dispatched-not-done count for the plant.
+	Inflight int `json:"inflight"`
+}
+
+// FleetStatus is a snapshot of the shop's elastic-fleet state, served
+// by the daemon's /debug/fleet endpoint and vmctl fleet.
+type FleetStatus struct {
+	Shop           string             `json:"shop"`
+	Plants         []PlantFleetStatus `json:"plants"`
+	AdmissionQueue int                `json:"admission_queue"`
+	InflightAtGate int                `json:"inflight_at_gate"`
+	ShedCreates    int64              `json:"shed_creates"`
+	StaleBids      int64              `json:"stale_bids"`
+	Drains         int64              `json:"drains"`
+	Retirements    int64              `json:"retirements"`
+}
+
+// vmCounter is the optional capability of handles that can report the
+// plant's hosted-VM count without a round trip (LocalHandle).
+type vmCounter interface {
+	ActiveVMs() int
+}
+
+// Fleet snapshots per-plant drain state, the admission gate, and the
+// overload counters. Retired plants stay in the report — an operator
+// asking "where did node03 go?" deserves an answer.
+func (s *Shop) Fleet() FleetStatus {
+	st := FleetStatus{
+		Shop:           s.name,
+		AdmissionQueue: s.AdmissionQueueLen(),
+		InflightAtGate: s.InflightCreates(),
+		ShedCreates:    s.mShedCreates.Value(),
+		StaleBids:      s.mStaleBids.Value(),
+		Drains:         s.mDrains.Value(),
+		Retirements:    s.mRetires.Value(),
+	}
+	s.mu.Lock()
+	seen := make(map[string]bool, len(s.plants))
+	names := make([]string, 0, len(s.plants)+len(s.retired))
+	for _, h := range s.plants {
+		names = append(names, h.Name())
+		seen[h.Name()] = true
+	}
+	for name := range s.retired {
+		if !seen[name] {
+			names = append(names, name)
+		}
+	}
+	s.mu.Unlock()
+	sort.Strings(names)
+	for _, name := range names {
+		row := PlantFleetStatus{Name: name, State: "active", ActiveVMs: -1}
+		s.mu.Lock()
+		if s.retired[name] {
+			row.State = "retired"
+			row.ActiveVMs = 0
+		} else if s.draining[name] {
+			row.State = "draining"
+		}
+		row.Inflight = s.inflight[name]
+		s.mu.Unlock()
+		if row.State != "retired" {
+			if h := s.plantByName(name); h != nil {
+				if vc, ok := h.(vmCounter); ok {
+					row.ActiveVMs = vc.ActiveVMs()
+				}
+			}
+		}
+		st.Plants = append(st.Plants, row)
+	}
+	return st
+}
+
+// journalMigrate records a drain-time migration's new route, synced:
+// the retirement record that follows must never be durable while the
+// route still points at the retiring plant.
+func (s *Shop) journalMigrate(p *sim.Proc, id core.VMID, plant string) {
+	if s.jnl == nil {
+		return
+	}
+	s.jnl.AppendSync(p, journal.Record{
+		Kind: journal.RouteChange, Key: string(id),
+		Fields: map[string]string{"endpoint": journal.EndpointPlant, "plant": plant},
+	})
+}

@@ -93,9 +93,9 @@ func (s *Shop) Kill() {
 }
 
 // killIf fires the daemon-kill fault at one of the shop's protocol
-// points ("intent", "commit", "forward") and, when it fires, kills the
-// shop. The fault site is the shop's own name, so a federation
-// experiment can kill one cell while its peers keep serving.
+// points ("intent", "commit", "forward", "drain") and, when it fires,
+// kills the shop. The fault site is the shop's own name, so a
+// federation experiment can kill one cell while its peers keep serving.
 func (s *Shop) killIf(op string) bool {
 	if !s.Faults.Should(s.name, fault.DaemonKill, op) {
 		return false
@@ -154,6 +154,10 @@ func (s *Shop) Restart(p *sim.Proc) (RestartStats, error) {
 	s.intents = make(map[core.VMID]*intent)
 	s.byReq = make(map[string]core.VMID)
 	s.peerRoutes = make(map[core.VMID]peerRoute)
+	// The journal is the authority on fleet membership too: drain and
+	// retirement state is rebuilt from its records below.
+	s.draining = make(map[string]bool)
+	s.retired = make(map[string]bool)
 	s.mu.Unlock()
 	byName := make(map[string]PlantHandle, len(s.plants))
 	for _, h := range s.plants {
@@ -200,6 +204,15 @@ func (s *Shop) Restart(p *sim.Proc) (RestartStats, error) {
 					in.attempts = append(in.attempts, r.Field("peer"))
 				}
 			}
+		case journal.PlantDrainBegin:
+			s.mu.Lock()
+			s.draining[r.Key] = true
+			s.mu.Unlock()
+		case journal.PlantRetired:
+			s.mu.Lock()
+			s.draining[r.Key] = true
+			s.retired[r.Key] = true
+			s.mu.Unlock()
 		case journal.CreationAbort:
 			s.dropIntent(id)
 		case journal.RouteDrop:
@@ -229,6 +242,41 @@ func (s *Shop) Restart(p *sim.Proc) (RestartStats, error) {
 	}
 	st.Replayed = rst.Records
 	st.TornTails = rst.TornTails
+	// Apply the replayed fleet ledger before any intent is reconciled:
+	// retired plants leave the candidate set (and shed any stale route
+	// still naming them — a retired plant is provably empty), open
+	// drains re-mark their plants, so neither the reconcile sweep nor a
+	// re-drive can ever route work to a plant that already left.
+	s.mu.Lock()
+	retired := make(map[string]bool, len(s.retired))
+	for name := range s.retired {
+		retired[name] = true
+	}
+	draining := make([]string, 0, len(s.draining))
+	for name := range s.draining {
+		if !retired[name] {
+			draining = append(draining, name)
+		}
+	}
+	s.mu.Unlock()
+	for name := range retired {
+		if h := byName[name]; h != nil {
+			s.plants = without(s.plants, h)
+			if d, ok := h.(Drainable); ok {
+				d.Retire()
+			}
+		}
+		for id, h := range s.routes {
+			if h != nil && h.Name() == name {
+				delete(s.routes, id)
+			}
+		}
+	}
+	for _, name := range draining {
+		if d, ok := byName[name].(Drainable); ok {
+			d.SetDraining(true)
+		}
+	}
 	st.Routes = len(s.routes) + len(s.peerRoutes)
 	s.mRecoveredRts.Add(int64(len(s.routes)))
 	// The VMID counter must never re-mint an ID that reached the journal;

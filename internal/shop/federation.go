@@ -211,10 +211,11 @@ func (s *Shop) EstimateForward(p *sim.Proc, spec *core.Spec) (core.Cost, error) 
 	if err != nil {
 		return core.Infeasible, err
 	}
-	round := s.plants
+	eligible := s.eligiblePlants()
+	round := eligible
 	if s.Breaker.Threshold > 0 {
 		var allowed []PlantHandle
-		for _, h := range s.plants {
+		for _, h := range eligible {
 			if s.breakerFor(h.Name()).allow(p.Now()) {
 				allowed = append(allowed, h)
 			}
@@ -236,7 +237,10 @@ func (s *Shop) EstimateForward(p *sim.Proc, spec *core.Spec) (core.Cost, error) 
 			best = b.c
 		}
 	}
-	return best, nil
+	// Price admission pressure into the quote: a forwarded creation
+	// would queue at this cell's gate like any other arrival, so a
+	// loaded cell bids higher and loses auctions it would only delay.
+	return best + s.bidPressure(), nil
 }
 
 // ForwardCreate serves a creation on behalf of a peer cell. The spec
@@ -256,6 +260,17 @@ func (s *Shop) ForwardCreate(p *sim.Proc, spec *core.Spec) (core.VMID, *classad.
 	if spec.Origin == s.name {
 		return "", nil, fmt.Errorf("shop %s: refusing forward-create from itself", s.name)
 	}
+	if s.down {
+		return "", nil, ErrShopDown
+	}
+	// Forwarded creations pass the same admission gate as local ones —
+	// capacity is capacity. A shed forward is transient, so the origin
+	// cell fails it over to its next bidder.
+	release, err := s.admit(p)
+	if err != nil {
+		return "", nil, err
+	}
+	defer release()
 	if s.down {
 		return "", nil, ErrShopDown
 	}

@@ -88,6 +88,16 @@ type Shop struct {
 	bids     []BidRecord    // audit log for experiments
 	inflight map[string]int // plant name → creations dispatched, not yet done
 
+	// draining/retired is the durable fleet-exit ledger (drain.go),
+	// keyed by plant name and rebuilt from drain-begin/retired journal
+	// records on Restart. Guarded by mu: debug endpoints snapshot it.
+	draining map[string]bool
+	retired  map[string]bool
+
+	// admission/gate is the bounded front door (overload.go).
+	admission AdmissionConfig
+	gate      *sim.Resource
+
 	// Telemetry instruments (nil-safe no-ops when unset).
 	tel             *telemetry.Hub
 	flight          *telemetry.FlightRecorder
@@ -113,6 +123,13 @@ type Shop struct {
 	mForwards       *telemetry.Counter
 	mForwardFails   *telemetry.Counter
 	mServedForwards *telemetry.Counter
+	mStaleBids      *telemetry.Counter
+	mShedCreates    *telemetry.Counter
+	mDrains         *telemetry.Counter
+	mRetires        *telemetry.Counter
+	mMigratedVMs    *telemetry.Counter
+	gAdmissionQueue *telemetry.Gauge
+	hAdmissionWait  *telemetry.Histogram
 }
 
 // BidRecord is one bidding round's outcome.
@@ -136,6 +153,8 @@ func New(name string, plants []PlantHandle, seed int64) *Shop {
 		inflight:   make(map[string]int),
 		intents:    make(map[core.VMID]*intent),
 		byReq:      make(map[string]core.VMID),
+		draining:   make(map[string]bool),
+		retired:    make(map[string]bool),
 	}
 }
 
@@ -188,6 +207,13 @@ func (s *Shop) SetTelemetry(h *telemetry.Hub) {
 	s.mForwards = h.Counter("shop.forwarded_creates")
 	s.mForwardFails = h.Counter("shop.forward_failures")
 	s.mServedForwards = h.Counter("shop.served_forwards")
+	s.mStaleBids = h.Counter("shop.stale_bids")
+	s.mShedCreates = h.Counter("shop.shed_creates")
+	s.mDrains = h.Counter("shop.plant_drains")
+	s.mRetires = h.Counter("shop.plant_retirements")
+	s.mMigratedVMs = h.Counter("shop.drain_migrations")
+	s.gAdmissionQueue = h.Gauge("shop.admission_queue")
+	s.hAdmissionWait = h.Histogram("shop.admission_wait_secs")
 }
 
 // mintID assigns the next VMID (paper: "a VMShop-assigned unique
@@ -208,6 +234,17 @@ func (s *Shop) Create(p *sim.Proc, spec *core.Spec) (core.VMID, *classad.Ad, err
 		return "", nil, err
 	}
 	if s.down {
+		return "", nil, ErrShopDown
+	}
+	// Bounded front door: queue, or shed with the retryable ErrOverload
+	// when the gate's bounds say this request cannot be served in time.
+	release, err := s.admit(p)
+	if err != nil {
+		return "", nil, err
+	}
+	defer release()
+	if s.down {
+		// The daemon died while this request queued at the gate.
 		return "", nil, ErrShopDown
 	}
 	id, ad, done, err := s.beginCreation(p, spec)
@@ -245,7 +282,10 @@ func (s *Shop) createAs(p *sim.Proc, id core.VMID, spec *core.Spec) (_ *classad.
 			s.hCreateSecs.Observe((p.Now() - start).Seconds())
 		}
 	}()
-	candidates := append([]PlantHandle(nil), s.plants...)
+	// Draining and retired plants never enter the round: a drain must
+	// not be handed new work, and replay guarantees a retired plant is
+	// invisible to every post-restart re-drive.
+	candidates := s.eligiblePlants()
 	rec := BidRecord{VMID: id, Costs: make(map[string]core.Cost)}
 
 	reqAd, err := requestAd(spec)
@@ -294,6 +334,17 @@ func (s *Shop) createAs(p *sim.Proc, id core.VMID, spec *core.Spec) (_ *classad.
 		first := true
 		for len(feasible) > 0 {
 			winner := s.pickWinner(feasible)
+			// Stale-bid recheck: the winner bid at round start, but may
+			// have begun draining — or died — since. Skip it without
+			// paying a dispatch (and without counting a failover: nothing
+			// was dispatched) and re-pick from the rest of the round.
+			if !s.dispatchOK(winner) {
+				s.mStaleBids.Inc()
+				s.noteFailure(p.Now(), winner.Name())
+				feasible = withoutBid(feasible, winner)
+				candidates = without(candidates, winner)
+				continue
+			}
 			if !first {
 				s.mFailovers.Inc()
 				sp.Set("failover", winner.Name())

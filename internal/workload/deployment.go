@@ -53,6 +53,11 @@ type Options struct {
 	// cell needs a distinct shop name; plant names are qualified with it
 	// too, since every testbed repeats node00, node01, ….
 	CellName string
+	// StandbyPlants holds the last N plants out of the shop's initial
+	// rotation: built and ready, but not bidding. They are the fleet
+	// controller's provisioning pool — scale-up hands them to the shop
+	// one at a time. Must be less than Plants.
+	StandbyPlants int
 }
 
 // withDefaults fills unset options.
@@ -149,7 +154,11 @@ func NewDeployment(opts Options) (*Deployment, error) {
 		d.Handles = append(d.Handles, h)
 		phs = append(phs, h)
 	}
-	d.Shop = shop.New(opts.CellName, phs, opts.Seed+1)
+	active := phs
+	if opts.StandbyPlants > 0 && opts.StandbyPlants < len(phs) {
+		active = phs[:len(phs)-opts.StandbyPlants]
+	}
+	d.Shop = shop.New(opts.CellName, active, opts.Seed+1)
 	d.Shop.SetTelemetry(opts.Telemetry)
 	return d, nil
 }

@@ -29,6 +29,7 @@ smoke() {
         case "$exp" in
         federation) set -- "$@" -artifacts "$CHECK_ARTIFACTS" ;;
         pipeline) set -- "$@" -artifacts "$CHECK_ARTIFACTS" ;;
+        diurnal) set -- "$@" -artifacts "$CHECK_ARTIFACTS" ;;
         slo) set -- "$@" -trace "$CHECK_ARTIFACTS/slo-trace.json" ;;
         esac
     fi
@@ -91,4 +92,10 @@ if [ "${CHECK_SHORT:-0}" != "1" ]; then
     # derived image clone-warm into another cell, and replay
     # byte-identically on the same seed.
     smoke federation
+    # Elastic-fleet smoke: a compressed day/night cycle with flash
+    # crowds and maintenance windows (one crossing a kill -9 mid-drain)
+    # must hold its SLOs, scale up and drain/retire at least twice
+    # each, shed only retryably, orphan and leak nothing, and replay
+    # byte-identically on the same seed.
+    smoke diurnal
 fi
